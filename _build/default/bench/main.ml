@@ -1,0 +1,281 @@
+(* Benchmark harness: regenerates every figure of the paper plus the
+   extension experiments of DESIGN.md, and times the constructions with
+   Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full precision
+     dune exec bench/main.exe -- fig7 timing  # selected experiments
+     dune exec bench/main.exe -- --quick all  # fast smoke run
+     dune exec bench/main.exe -- --csv out/ fig6   # also write CSVs *)
+
+module Figures = Manet_experiment.Figures
+module Render = Manet_experiment.Render
+module Coverage = Manet_coverage.Coverage
+
+let quick = ref false
+let csv_dir = ref None
+let domains = ref 1
+
+let config () =
+  let c = if !quick then Figures.quick else Figures.default in
+  { c with Figures.domains = !domains }
+
+let maybe_csv name table =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    Render.write_csv ~path table;
+    Printf.printf "  [csv] %s\n%!" path
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let per_degree name title make =
+  section title;
+  List.iter
+    (fun d ->
+      let t = make ~d () in
+      print_string (Render.to_text ~title:name t);
+      maybe_csv (Printf.sprintf "%s_d%g" name d) t)
+    [ 6.; 18. ]
+
+let fig6 () =
+  per_degree "fig6" "Figure 6: average CDS size (static backbone vs MO_CDS)"
+    (Figures.fig6 ~config:(config ()))
+
+let fig7 () =
+  per_degree "fig7"
+    "Figure 7: average forward-node-set size (dynamic backbone vs MO_CDS)"
+    (Figures.fig7 ~config:(config ()))
+
+let fig8 () =
+  per_degree "fig8" "Figure 8: forward-node-set size (static vs dynamic backbone)"
+    (Figures.fig8 ~config:(config ()))
+
+let ext_baselines () =
+  per_degree "ext_baselines" "Extension: forward counts across baseline protocols"
+    (Figures.ext_baselines ~config:(config ()))
+
+let ext_si_cds () =
+  per_degree "ext_si_cds" "Extension: CDS sizes across SI algorithms"
+    (Figures.ext_si_cds ~config:(config ()))
+
+let ext_clustering () =
+  per_degree "ext_clustering" "Ablation: lowest-ID vs highest-connectivity clustering"
+    (Figures.ext_clustering ~config:(config ()))
+
+let ext_pruning () =
+  per_degree "ext_pruning" "Ablation: dynamic backbone pruning levels (2.5-hop)"
+    (Figures.ext_pruning ~config:(config ()))
+
+let ext_approx () =
+  section "Extension: approximation ratios vs exact MCDS (d = 6, small n)";
+  let t = Figures.ext_approx ~config:(config ()) () in
+  print_string (Render.to_text ~title:"ext_approx" t);
+  maybe_csv "ext_approx" t
+
+let ext_msgs () =
+  per_degree "ext_msgs" "Extension: construction message complexity (O(n) check)"
+    (Figures.ext_msgs ~config:(config ()))
+
+let ext_delivery () =
+  per_degree "ext_delivery" "Diagnostic: delivery ratios of SD protocols"
+    (Figures.ext_delivery ~config:(config ()))
+
+let ext_lossy () =
+  section "Extension: delivery under lossy links";
+  let t = Figures.ext_lossy ~config:(config ()) ~d:8. () in
+  print_string (Figures.render_lossy t)
+
+let ext_border () =
+  section "Diagnostic: border effects of the confined working space";
+  let t = Figures.ext_border ~config:(config ()) ~d:6. () in
+  print_string (Figures.render_border t)
+
+let ext_reliable () =
+  section "Extension: reliable broadcast (ack/retransmit) under loss";
+  let t = Figures.ext_reliable ~config:(config ()) ~d:8. () in
+  print_string (Figures.render_reliable t)
+
+let ext_maintenance () =
+  section "Extension: clustering maintenance cost under mobility";
+  let config =
+    let c = config () in
+    if !quick then { c with min_samples = 3 } else { c with min_samples = 10 }
+  in
+  let t = Figures.ext_maintenance ~config ~d:6. () in
+  print_string (Figures.render_maintenance t)
+
+let ext_mobility () =
+  section "Extension: static backbone maintenance under mobility";
+  let config =
+    let c = config () in
+    if !quick then { c with min_samples = 4 } else { c with min_samples = 20 }
+  in
+  let t = Figures.ext_mobility ~config ~d:6. () in
+  print_string (Figures.render_mobility t)
+
+(* Bechamel micro-benchmarks: one Test.make per reproduced table — each
+   times the per-sample unit of work behind that figure at the paper's
+   largest scale (n = 100), plus the substrate stages. *)
+let timing () =
+  section "Timing (Bechamel): per-sample cost of each experiment unit";
+  let open Bechamel in
+  let rng = Manet_rng.Rng.create ~seed:99 in
+  let spec = Manet_topology.Spec.make ~n:100 ~avg_degree:6. () in
+  let sample = Manet_topology.Generator.sample_connected rng spec in
+  let g = sample.graph in
+  let cl = Manet_cluster.Lowest_id.cluster g in
+  let stage f = Staged.stage f in
+  let tests =
+    [
+      Test.make ~name:"topology-sample"
+        (stage (fun () ->
+             ignore (Manet_topology.Generator.sample_connected rng spec)));
+      Test.make ~name:"clustering" (stage (fun () -> ignore (Manet_cluster.Lowest_id.cluster g)));
+      Test.make ~name:"fig6-static-2.5hop"
+        (stage (fun () ->
+             ignore (Manet_backbone.Static_backbone.build ~clustering:cl g Coverage.Hop25)));
+      Test.make ~name:"fig6-static-3hop"
+        (stage (fun () ->
+             ignore (Manet_backbone.Static_backbone.build ~clustering:cl g Coverage.Hop3)));
+      Test.make ~name:"fig6-mo_cds"
+        (stage (fun () -> ignore (Manet_baselines.Mo_cds.build ~clustering:cl g)));
+      Test.make ~name:"fig7-dynamic-2.5hop"
+        (stage (fun () ->
+             ignore (Manet_backbone.Dynamic_backbone.broadcast g cl Coverage.Hop25 ~source:0)));
+      Test.make ~name:"fig8-static-broadcast"
+        (stage
+           (let bb = Manet_backbone.Static_backbone.build ~clustering:cl g Coverage.Hop25 in
+            fun () -> ignore (Manet_backbone.Static_backbone.broadcast bb ~source:0)));
+      Test.make ~name:"ext-ahbp" (stage (fun () -> ignore (Manet_baselines.Ahbp.broadcast g ~source:0)));
+      Test.make ~name:"ext-self-pruning"
+        (stage (fun () -> ignore (Manet_baselines.Self_pruning.broadcast ~rng g ~source:0)));
+      Test.make ~name:"ext-passive"
+        (stage (fun () -> ignore (Manet_baselines.Passive_clustering.broadcast ~rng g ~source:0)));
+      Test.make ~name:"ext-dp" (stage (fun () -> ignore (Manet_baselines.Dominant_pruning.broadcast g ~source:0)));
+      Test.make ~name:"ext-pdp"
+        (stage (fun () -> ignore (Manet_baselines.Partial_dominant_pruning.broadcast g ~source:0)));
+      Test.make ~name:"ext-mpr" (stage (fun () -> ignore (Manet_baselines.Mpr.broadcast g ~source:0)));
+      Test.make ~name:"ext-wu-li" (stage (fun () -> ignore (Manet_baselines.Wu_li.build g)));
+      Test.make ~name:"ext-tree-cds" (stage (fun () -> ignore (Manet_baselines.Tree_cds.build g)));
+      Test.make ~name:"ext-fwd-tree"
+        (stage (fun () -> ignore (Manet_baselines.Forwarding_tree.build g cl Coverage.Hop25 ~source:0)));
+      Test.make ~name:"ext-flooding"
+        (stage (fun () -> ignore (Manet_baselines.Flooding.broadcast g ~source:0)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"manet" tests in
+  let cfg =
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if !quick then 0.05 else 0.5))
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-28s %14s %8s\n" "benchmark (n=100, d=6)" "ns/run" "r²";
+  List.iter
+    (fun (name, ns, r2) -> Printf.printf "%-28s %14.0f %8.3f\n" name ns r2)
+    rows
+
+(* Scalability: wall-clock of each construction as n grows an order of
+   magnitude past the paper's largest network, at fixed density. *)
+let timing_scale () =
+  section "Timing: construction scalability (CPU seconds, fixed d = 12)";
+  Printf.printf "%8s %10s %12s %12s %12s %14s\n" "n" "sample" "clustering" "static-2.5"
+    "dynamic bc" "us per node";
+  List.iter
+    (fun n ->
+      let rng = Manet_rng.Rng.create ~seed:(n + 5) in
+      (* d = 12 keeps even the largest n safely above the connectivity
+         threshold (~ln n), so rejection sampling stays cheap. *)
+      let spec = Manet_topology.Spec.make ~n ~avg_degree:12. () in
+      let time f =
+        let t0 = Sys.time () in
+        let r = f () in
+        (Sys.time () -. t0, r)
+      in
+      let t_sample, sample = time (fun () -> Manet_topology.Generator.sample_connected rng spec) in
+      let g = sample.Manet_topology.Generator.graph in
+      let t_cluster, cl = time (fun () -> Manet_cluster.Lowest_id.cluster g) in
+      let t_static, _ =
+        time (fun () -> Manet_backbone.Static_backbone.build ~clustering:cl g Coverage.Hop25)
+      in
+      let t_dynamic, _ =
+        time (fun () ->
+            Manet_backbone.Dynamic_backbone.broadcast g cl Coverage.Hop25 ~source:0)
+      in
+      Printf.printf "%8d %10.3f %12.3f %12.3f %12.3f %14.1f\n" n t_sample t_cluster t_static
+        t_dynamic
+        (1e6 *. t_static /. float_of_int n))
+    [ 100; 300; 1000; 3000; 10000 ]
+
+let experiments =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("ext-baselines", ext_baselines);
+    ("ext-si-cds", ext_si_cds);
+    ("ext-clustering", ext_clustering);
+    ("ext-pruning", ext_pruning);
+    ("ext-approx", ext_approx);
+    ("ext-msgs", ext_msgs);
+    ("ext-delivery", ext_delivery);
+    ("ext-lossy", ext_lossy);
+    ("ext-border", ext_border);
+    ("ext-reliable", ext_reliable);
+    ("ext-maintenance", ext_maintenance);
+    ("ext-mobility", ext_mobility);
+    ("timing", timing);
+    ("timing-scale", timing_scale);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [--csv DIR] [--domains N] [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
+  print_endline "  all (default)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      parse acc rest
+    | "--domains" :: k :: rest ->
+      domains := int_of_string k;
+      parse acc rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | name :: rest -> parse (name :: acc) rest
+  in
+  let selected = parse [] args in
+  let selected = if selected = [] then [ "all" ] else selected in
+  let run name =
+    if name = "all" then List.iter (fun (_, f) -> f ()) experiments
+    else
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment: %s\n" name;
+        usage ();
+        exit 1
+  in
+  List.iter run selected

@@ -1,0 +1,316 @@
+(* The `manet` command-line tool: generate topologies, build backbones,
+   run broadcasts and regenerate the paper's figures without writing any
+   OCaml. *)
+
+open Cmdliner
+
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Export = Manet_graph.Export
+module Spec = Manet_topology.Spec
+module Generator = Manet_topology.Generator
+module Coverage = Manet_coverage.Coverage
+module Static = Manet_backbone.Static_backbone
+module Dynamic = Manet_backbone.Dynamic_backbone
+module Result = Manet_broadcast.Result
+
+(* Shared topology arguments *)
+
+let n_arg =
+  Arg.(value & opt int 60 & info [ "n" ] ~docv:"N" ~doc:"Number of hosts to generate.")
+
+let degree_arg =
+  Arg.(
+    value
+    & opt float 6.
+    & info [ "d"; "degree" ] ~docv:"D" ~doc:"Target average node degree (paper: 6 or 18).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let edges_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "edges" ] ~docv:"FILE"
+        ~doc:"Load the topology from an edge CSV (as written by $(b,generate --format csv)) \
+              instead of generating one.")
+
+let source_arg =
+  Arg.(value & opt int 0 & info [ "source" ] ~docv:"NODE" ~doc:"Broadcast source node.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of standard output.")
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_out out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+    Printf.printf "wrote %s\n" path
+
+(* Returns the graph plus positions when generated (positions pin DOT
+   layouts; absent for loaded edge lists). *)
+let topology edges n degree seed =
+  match edges with
+  | Some path -> (Export.of_edge_csv (read_file path), None)
+  | None ->
+    let rng = Manet_rng.Rng.create ~seed in
+    let sample = Generator.sample_connected rng (Spec.make ~n ~avg_degree:degree ()) in
+    (sample.graph, Some sample.points)
+
+(* generate *)
+
+let generate_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dot", `Dot); ("csv", `Csv); ("adjacency", `Adjacency) ]) `Csv
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,csv), $(b,dot) or $(b,adjacency).")
+  in
+  let run n degree seed format out =
+    let g, positions = topology None n degree seed in
+    let text =
+      match format with
+      | `Csv -> Export.to_edge_csv g
+      | `Adjacency -> Export.to_adjacency_lines g
+      | `Dot -> Export.to_dot ?positions g
+    in
+    write_out out text;
+    Printf.eprintf "generated: n=%d m=%d avg degree %.2f\n" (Graph.n g) (Graph.m g)
+      (Graph.avg_degree g)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random connected MANET topology (paper Section 4 setup).")
+    Term.(const run $ n_arg $ degree_arg $ seed_arg $ format_arg $ out_arg)
+
+(* backbone *)
+
+type backbone_algo = B_static_25 | B_static_3 | B_mo_cds | B_wu_li | B_greedy
+
+let backbone_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("static-2.5", B_static_25);
+               ("static-3", B_static_3);
+               ("mo-cds", B_mo_cds);
+               ("wu-li", B_wu_li);
+               ("greedy", B_greedy);
+             ])
+          B_static_25
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "CDS algorithm: $(b,static-2.5) / $(b,static-3) (the paper's backbone), \
+             $(b,mo-cds), $(b,wu-li) or $(b,greedy).")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering with the CDS filled.")
+  in
+  let run edges n degree seed algo dot =
+    let g, positions = topology edges n degree seed in
+    let members, label =
+      match algo with
+      | B_static_25 -> ((Static.build g Coverage.Hop25).members, "static backbone (2.5-hop)")
+      | B_static_3 -> ((Static.build g Coverage.Hop3).members, "static backbone (3-hop)")
+      | B_mo_cds -> ((Manet_baselines.Mo_cds.build g).members, "MO_CDS")
+      | B_wu_li -> ((Manet_baselines.Wu_li.build g).members, "Wu-Li marking + rules 1,2")
+      | B_greedy -> (Manet_mcds.Greedy_cds.build g, "greedy CDS (Guha-Khuller)")
+    in
+    Format.printf "%s: %d of %d nodes@." label (Nodeset.cardinal members) (Graph.n g);
+    Format.printf "members = %a@." Nodeset.pp members;
+    Format.printf "verified CDS: %b@." (Manet_graph.Dominating.is_cds g members);
+    match dot with
+    | None -> ()
+    | Some path ->
+      write_out (Some path) (Export.to_dot ~highlight:members ?positions g)
+  in
+  Cmd.v
+    (Cmd.info "backbone" ~doc:"Build a CDS backbone and verify it.")
+    Term.(const run $ edges_arg $ n_arg $ degree_arg $ seed_arg $ algo_arg $ dot_arg)
+
+(* broadcast *)
+
+type broadcast_proto =
+  | P_dynamic of Coverage.mode
+  | P_static of Coverage.mode
+  | P_mo_cds
+  | P_flooding
+  | P_dp
+  | P_pdp
+  | P_mpr
+  | P_wu_li
+
+let broadcast_cmd =
+  let proto_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("dynamic-2.5", P_dynamic Coverage.Hop25);
+               ("dynamic-3", P_dynamic Coverage.Hop3);
+               ("static-2.5", P_static Coverage.Hop25);
+               ("static-3", P_static Coverage.Hop3);
+               ("mo-cds", P_mo_cds);
+               ("flooding", P_flooding);
+               ("dp", P_dp);
+               ("pdp", P_pdp);
+               ("mpr", P_mpr);
+               ("wu-li", P_wu_li);
+             ])
+          (P_dynamic Coverage.Hop25)
+      & info [ "proto" ] ~docv:"PROTO" ~doc:"Broadcast protocol.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Print the transmission timeline (time: nodes).  Available for the dynamic backbone              and the SI protocols.")
+  in
+  let run edges n degree seed proto source trace =
+    let g, _ = topology edges n degree seed in
+    if source < 0 || source >= Graph.n g then
+      invalid_arg (Printf.sprintf "source %d out of range (n=%d)" source (Graph.n g));
+    let cl () = Manet_cluster.Lowest_id.cluster g in
+    let si_traced in_cds =
+      Manet_broadcast.Engine.run_traced g ~source ~initial:()
+        ~decide:(fun ~node ~from:_ ~payload:() -> if in_cds node then Some () else None)
+    in
+    let r, timeline =
+      match proto with
+      | P_dynamic mode -> Dynamic.broadcast_traced g (cl ()) mode ~source
+      | P_static mode ->
+        let bb = Static.build ~clustering:(cl ()) g mode in
+        si_traced (Static.in_backbone bb)
+      | P_mo_cds ->
+        let m = Manet_baselines.Mo_cds.build g in
+        si_traced (Manet_baselines.Mo_cds.in_cds m)
+      | P_flooding -> Manet_broadcast.Engine.run_traced g ~source ~initial:()
+          ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ())
+      | P_dp -> (Manet_baselines.Dominant_pruning.broadcast g ~source, [])
+      | P_pdp -> (Manet_baselines.Partial_dominant_pruning.broadcast g ~source, [])
+      | P_mpr -> (Manet_baselines.Mpr.broadcast g ~source, [])
+      | P_wu_li ->
+        let w = Manet_baselines.Wu_li.build g in
+        si_traced (Manet_baselines.Wu_li.in_cds w)
+    in
+    Format.printf "%a@." Result.pp r;
+    Format.printf "forwarders = %a@." Nodeset.pp r.forwarders;
+    if trace then begin
+      if timeline = [] then Format.printf "(no timeline available for this protocol)@."
+      else begin
+        let by_time = Hashtbl.create 16 in
+        List.iter
+          (fun (t, v) ->
+            Hashtbl.replace by_time t (v :: Option.value ~default:[] (Hashtbl.find_opt by_time t)))
+          timeline;
+        let times = Hashtbl.fold (fun t _ acc -> t :: acc) by_time [] |> List.sort compare in
+        List.iter
+          (fun t ->
+            Format.printf "t=%d:" t;
+            List.iter (Format.printf " %d") (List.rev (Hashtbl.find by_time t));
+            Format.printf "@.")
+          times
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Run one broadcast and report the forward-node set.")
+    Term.(const run $ edges_arg $ n_arg $ degree_arg $ seed_arg $ proto_arg $ source_arg $ trace_arg)
+
+(* cluster *)
+
+let cluster_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("lowest-id", `Lowest_id); ("highest-degree", `Highest_degree) ]) `Lowest_id
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Election rule: $(b,lowest-id) or $(b,highest-degree).")
+  in
+  let run edges n degree seed algo =
+    let g, _ = topology edges n degree seed in
+    let cl =
+      match algo with
+      | `Lowest_id -> Manet_cluster.Lowest_id.cluster g
+      | `Highest_degree -> Manet_cluster.Highest_degree.cluster g
+    in
+    Format.printf "%a" Manet_cluster.Clustering.pp cl;
+    Format.printf "%d clusters over %d nodes@." (Manet_cluster.Clustering.num_clusters cl)
+      (Graph.n g);
+    let cg = Manet_backbone.Cluster_graph.build g cl Coverage.Hop25 in
+    Format.printf "cluster graph (2.5-hop): %d links, strongly connected: %b@."
+      (Manet_backbone.Cluster_graph.num_links cg)
+      (Manet_backbone.Cluster_graph.is_strongly_connected cg)
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Cluster a topology and inspect the cluster graph.")
+    Term.(const run $ edges_arg $ n_arg $ degree_arg $ seed_arg $ algo_arg)
+
+(* figures *)
+
+let figures_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE" ~doc:"One of: fig6 fig7 fig8 ext-baselines ext-si-cds ext-clustering ext-msgs ext-delivery ext-pruning.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Few samples, three network sizes (smoke run).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Evaluate sweep points on N parallel domains (results identical).")
+  in
+  let run which quick domains =
+    let module Figures = Manet_experiment.Figures in
+    let config = if quick then Figures.quick else Figures.default in
+    let config = { config with Figures.domains } in
+    let make =
+      match which with
+      | "fig6" -> Figures.fig6 ~config
+      | "fig7" -> Figures.fig7 ~config
+      | "fig8" -> Figures.fig8 ~config
+      | "ext-baselines" -> Figures.ext_baselines ~config
+      | "ext-si-cds" -> Figures.ext_si_cds ~config
+      | "ext-clustering" -> Figures.ext_clustering ~config
+      | "ext-msgs" -> Figures.ext_msgs ~config
+      | "ext-delivery" -> Figures.ext_delivery ~config
+      | "ext-pruning" -> Figures.ext_pruning ~config
+      | other -> invalid_arg (Printf.sprintf "unknown figure %S" other)
+    in
+    List.iter
+      (fun d ->
+        print_string (Manet_experiment.Render.to_text ~title:which (make ~d ())))
+      [ 6.; 18. ];
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate a figure of the paper (see also bench/main.exe).")
+    Term.(ret (const run $ which_arg $ quick_arg $ domains_arg))
+
+let () =
+  let info =
+    Cmd.info "manet" ~version:"1.0.0"
+      ~doc:"Cluster-based backbone infrastructure for broadcasting in MANETs (Lou & Wu, IPPS'03)."
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; cluster_cmd; backbone_cmd; broadcast_cmd; figures_cmd ]))

@@ -1,0 +1,1 @@
+examples/density_sweep.mli:

@@ -1,0 +1,1 @@
+examples/paper_figure3.ml: Format List Manet_backbone Manet_broadcast Manet_cluster Manet_coverage Manet_graph Printf String

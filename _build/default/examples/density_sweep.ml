@@ -1,0 +1,57 @@
+(* The broadcast storm problem, measured.
+
+   Section 1 of the paper: "When the size of the network increases and
+   the network becomes dense, even a simple broadcast operation may
+   trigger a huge transmission collision and contention...  Basically,
+   the backbone of a network converts a dense network to a sparse one."
+
+   This example fixes n = 100 and sweeps the average degree, printing
+   the fraction of nodes that must transmit under flooding vs the
+   paper's backbones.  Flooding stays at 100%; the backbones shrink as
+   density grows — the denser the network, the more a backbone helps.
+
+   Run with:  dune exec examples/density_sweep.exe *)
+
+module Rng = Manet_rng.Rng
+module Spec = Manet_topology.Spec
+module Generator = Manet_topology.Generator
+module Coverage = Manet_coverage.Coverage
+module Static = Manet_backbone.Static_backbone
+module Dynamic = Manet_backbone.Dynamic_backbone
+module Summary = Manet_stats.Summary
+module Result = Manet_broadcast.Result
+
+let () =
+  let n = 100 in
+  let samples = 25 in
+  Printf.printf "n = %d, %d topologies per point; values are forwarding nodes (%% of n)\n" n
+    samples;
+  Printf.printf "%8s %12s %12s %12s %14s\n" "degree" "flooding" "static-2.5" "dynamic-2.5"
+    "cluster-heads";
+  List.iter
+    (fun d ->
+      let rng = Rng.create ~seed:(1000 + int_of_float d) in
+      let spec = Spec.make ~n ~avg_degree:d () in
+      let static = Summary.create () in
+      let dynamic = Summary.create () in
+      let heads = Summary.create () in
+      for _ = 1 to samples do
+        let sample = Generator.sample_connected rng spec in
+        let g = sample.graph in
+        let cl = Manet_cluster.Lowest_id.cluster g in
+        let source = Rng.int rng n in
+        let bb = Static.build ~clustering:cl g Coverage.Hop25 in
+        Summary.add static (float_of_int (Result.forward_count (Static.broadcast bb ~source)));
+        Summary.add dynamic
+          (float_of_int (Result.forward_count (Dynamic.broadcast g cl Coverage.Hop25 ~source)));
+        Summary.add heads (float_of_int (Manet_cluster.Clustering.num_clusters cl))
+      done;
+      let pct s = 100. *. Summary.mean s /. float_of_int n in
+      Printf.printf "%8g %11.0f%% %11.1f%% %11.1f%% %14.1f\n" d 100. (pct static) (pct dynamic)
+        (Summary.mean heads))
+    [ 6.; 9.; 12.; 18.; 24.; 32. ];
+  print_newline ();
+  print_endline
+    "Reading: flooding always uses every node; the backbones approach the\n\
+     cluster-head floor as density rises, converting the dense network into\n\
+     a sparse virtual one — the paper's motivation in one table."

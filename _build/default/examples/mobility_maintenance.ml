@@ -1,0 +1,61 @@
+(* Why the paper argues for the on-demand dynamic backbone.
+
+   A static SI-CDS backbone must be maintained as hosts move: this
+   example freezes the backbone built at t = 0, moves the hosts with the
+   random-waypoint model, and shows (a) when the frozen backbone stops
+   being a CDS of the live topology and (b) how its broadcast delivery
+   decays, while an on-demand dynamic broadcast on the live topology
+   keeps delivering.
+
+   Run with:  dune exec examples/mobility_maintenance.exe *)
+
+module Rng = Manet_rng.Rng
+module Spec = Manet_topology.Spec
+module Generator = Manet_topology.Generator
+module Mobility = Manet_topology.Mobility
+module Graph = Manet_graph.Graph
+module Dominating = Manet_graph.Dominating
+module Coverage = Manet_coverage.Coverage
+module Static = Manet_backbone.Static_backbone
+module Dynamic = Manet_backbone.Dynamic_backbone
+module Result = Manet_broadcast.Result
+
+let () =
+  let rng = Rng.create ~seed:11 in
+  let spec = Spec.make ~n:80 ~avg_degree:8. () in
+  let sample = Generator.sample_connected rng spec in
+  let backbone = Static.build sample.graph Coverage.Hop25 in
+  Printf.printf "t=0: backbone of %d nodes built (CDS: %b)\n" (Static.size backbone)
+    (Static.is_cds backbone);
+  let speed = 4. in
+  let mob =
+    Mobility.create ~model:Mobility.Random_waypoint ~speed_min:speed ~speed_max:speed
+      ~rng:(Rng.split rng) ~spec sample.points
+  in
+  Printf.printf "random waypoint at speed %g; probing every 2 time units:\n" speed;
+  Printf.printf "%6s %12s %16s %18s\n" "t" "still CDS?" "stale delivery" "dynamic delivery";
+  let t = ref 0. in
+  for _ = 1 to 10 do
+    Mobility.step mob ~dt:2.;
+    t := !t +. 2.;
+    let g = Mobility.graph mob ~radius:sample.radius in
+    let valid = Dominating.is_cds g backbone.members in
+    let source = Rng.int rng (Graph.n g) in
+    let stale =
+      Manet_broadcast.Si.run g ~in_cds:(fun v -> Static.in_backbone backbone v) ~source
+    in
+    (* The on-demand protocol reclusters the live topology, as the real
+       system would before a broadcast. *)
+    let dynamic =
+      let cl = Manet_cluster.Lowest_id.cluster g in
+      Dynamic.broadcast g cl Coverage.Hop25 ~source
+    in
+    Printf.printf "%6.1f %12b %16.3f %18.3f\n" !t valid (Result.delivery_ratio stale)
+      (Result.delivery_ratio dynamic)
+  done;
+  print_newline ();
+  print_endline
+    "The frozen backbone loses CDS-ness and delivery within a few time units,\n\
+     while the on-demand dynamic broadcast stays at (or near) full delivery —\n\
+     the trade-off of Section 1 of the paper.  (Dynamic delivery can dip below\n\
+     1.0 only when motion has disconnected the topology itself.)"

@@ -1,0 +1,1 @@
+lib/baselines/ahbp.ml: Manet_broadcast Manet_graph Neighbor_cover

@@ -1,0 +1,1 @@
+lib/baselines/ahbp.mli: Manet_broadcast Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/counter_based.ml: Array Manet_broadcast Manet_graph Manet_rng Manet_sim

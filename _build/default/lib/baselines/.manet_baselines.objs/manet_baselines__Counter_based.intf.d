@@ -1,0 +1,1 @@
+lib/baselines/counter_based.mli: Manet_broadcast Manet_graph Manet_rng

@@ -1,0 +1,1 @@
+lib/baselines/dominant_pruning.ml: Manet_broadcast Manet_graph Neighbor_cover

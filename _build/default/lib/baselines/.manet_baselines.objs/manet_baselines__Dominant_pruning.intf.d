@@ -1,0 +1,1 @@
+lib/baselines/dominant_pruning.mli: Manet_broadcast Manet_graph

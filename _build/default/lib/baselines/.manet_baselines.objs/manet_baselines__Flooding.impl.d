@@ -1,0 +1,1 @@
+lib/baselines/flooding.ml: Manet_broadcast

@@ -1,0 +1,1 @@
+lib/baselines/flooding.mli: Manet_broadcast Manet_graph

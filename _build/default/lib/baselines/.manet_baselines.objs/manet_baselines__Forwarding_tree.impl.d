@@ -1,0 +1,1 @@
+lib/baselines/forwarding_tree.ml: Array List Manet_broadcast Manet_cluster Manet_coverage Manet_graph Queue

@@ -1,0 +1,1 @@
+lib/baselines/mo_cds.ml: Array List Manet_broadcast Manet_cluster Manet_coverage Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/mo_cds.mli: Manet_broadcast Manet_cluster Manet_graph

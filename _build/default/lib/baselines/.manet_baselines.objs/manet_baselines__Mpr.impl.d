@@ -1,0 +1,1 @@
+lib/baselines/mpr.ml: Array Hashtbl List Manet_broadcast Manet_graph Neighbor_cover Option Set_cover

@@ -1,0 +1,1 @@
+lib/baselines/mpr.mli: Manet_broadcast Manet_graph

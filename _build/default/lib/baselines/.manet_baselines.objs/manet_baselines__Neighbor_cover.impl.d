@@ -1,0 +1,1 @@
+lib/baselines/neighbor_cover.ml: List Manet_graph Set_cover

@@ -1,0 +1,1 @@
+lib/baselines/neighbor_cover.mli: Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/passive_clustering.mli: Manet_broadcast Manet_graph Manet_rng

@@ -1,0 +1,1 @@
+lib/baselines/self_pruning.ml: Array Manet_broadcast Manet_graph Manet_rng Manet_sim

@@ -1,0 +1,1 @@
+lib/baselines/self_pruning.mli: Manet_broadcast Manet_graph Manet_rng

@@ -1,0 +1,1 @@
+lib/baselines/set_cover.ml: List Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/set_cover.mli: Manet_graph

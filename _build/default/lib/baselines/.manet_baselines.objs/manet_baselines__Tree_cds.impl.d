@@ -1,0 +1,1 @@
+lib/baselines/tree_cds.ml: Array Fun List Manet_broadcast Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/tree_cds.mli: Manet_broadcast Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/wu_li.ml: Array Manet_broadcast Manet_graph

@@ -1,0 +1,1 @@
+lib/baselines/wu_li.mli: Manet_broadcast Manet_graph

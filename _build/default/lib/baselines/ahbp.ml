@@ -1,0 +1,29 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+type packet = { brg : Nodeset.t }
+
+let broadcast g ~source =
+  let select ~node ~upstream =
+    let universe =
+      match upstream with
+      | None -> Neighbor_cover.two_hop_strict g node
+      | Some (u, brg) ->
+        let base =
+          Nodeset.diff (Neighbor_cover.two_hop_strict g node) (Graph.closed_neighborhood g u)
+        in
+        (* Every BRG of u forwards, so its whole neighborhood is covered. *)
+        Nodeset.fold
+          (fun b acc -> Nodeset.diff acc (Graph.closed_neighborhood g b))
+          brg base
+    in
+    Neighbor_cover.forwards g ~node ~universe
+  in
+  Manet_broadcast.Engine.run g ~source
+    ~initial:{ brg = select ~node:source ~upstream:None }
+    ~decide:(fun ~node ~from ~payload ->
+      if Nodeset.mem node payload.brg then
+        Some { brg = select ~node ~upstream:(Some (from, payload.brg)) }
+      else None)
+
+let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)

@@ -1,0 +1,24 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+(* The packet carries the sender's forward designation. *)
+type packet = { forwards : Nodeset.t }
+
+let broadcast g ~source =
+  let forwards_of ~node ~upstream =
+    let universe =
+      match upstream with
+      | None -> Neighbor_cover.two_hop_strict g node
+      | Some u ->
+        Nodeset.diff (Neighbor_cover.two_hop_strict g node) (Graph.closed_neighborhood g u)
+    in
+    Neighbor_cover.forwards g ~node ~universe
+  in
+  Manet_broadcast.Engine.run g ~source
+    ~initial:{ forwards = forwards_of ~node:source ~upstream:None }
+    ~decide:(fun ~node ~from ~payload ->
+      if Nodeset.mem node payload.forwards then
+        Some { forwards = forwards_of ~node ~upstream:(Some from) }
+      else None)
+
+let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)

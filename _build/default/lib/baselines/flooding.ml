@@ -1,0 +1,3 @@
+let broadcast g ~source =
+  Manet_broadcast.Engine.run g ~source ~initial:()
+    ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ())

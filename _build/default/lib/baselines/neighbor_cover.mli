@@ -1,0 +1,14 @@
+(** Shared forward-set selection of the neighborhood-based SD protocols.
+
+    Dominant pruning, PDP and AHBP all choose their forward sets the same
+    way — greedily pick 1-hop neighbors whose open neighborhoods cover a
+    target universe — and differ only in how the universe is pruned.
+    {!two_hop_strict} is the common starting universe N(N(v)) - N[v]. *)
+
+val two_hop_strict : Manet_graph.Graph.t -> int -> Manet_graph.Nodeset.t
+(** Nodes at hop distance exactly 2. *)
+
+val forwards :
+  Manet_graph.Graph.t -> node:int -> universe:Manet_graph.Nodeset.t -> Manet_graph.Nodeset.t
+(** Greedy cover of [universe] by the open neighborhoods of [node]'s
+    neighbors (ties toward the lowest id). *)

@@ -1,0 +1,37 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+type packet = { forwards : Nodeset.t }
+
+let broadcast g ~source =
+  let forwards_of ~node ~upstream =
+    let universe =
+      match upstream with
+      | None -> Neighbor_cover.two_hop_strict g node
+      | Some u ->
+        let base =
+          Nodeset.diff (Neighbor_cover.two_hop_strict g node) (Graph.closed_neighborhood g u)
+        in
+        (* PDP's extra exclusion: neighborhoods of the common neighbors
+           of sender and receiver lie in N(N(u)), which u's own selection
+           already covers. *)
+        let common =
+          Nodeset.inter (Graph.open_neighborhood g u) (Graph.open_neighborhood g node)
+        in
+        let p =
+          Nodeset.fold
+            (fun w acc -> Nodeset.union acc (Graph.open_neighborhood g w))
+            common Nodeset.empty
+        in
+        Nodeset.diff base p
+    in
+    Neighbor_cover.forwards g ~node ~universe
+  in
+  Manet_broadcast.Engine.run g ~source
+    ~initial:{ forwards = forwards_of ~node:source ~upstream:None }
+    ~decide:(fun ~node ~from ~payload ->
+      if Nodeset.mem node payload.forwards then
+        Some { forwards = forwards_of ~node ~upstream:(Some from) }
+      else None)
+
+let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)

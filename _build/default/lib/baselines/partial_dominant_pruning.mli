@@ -1,0 +1,12 @@
+(** Partial dominant pruning (Lou and Wu, IEEE TMC 2002) — the authors'
+    own earlier source-dependent baseline, surveyed in Section 2.
+
+    Extends dominant pruning: the neighbors of the {e common} neighbors
+    of sender u and receiver v lie inside N(N(u)), whose coverage u's own
+    forward selection already guarantees, so v can drop them too.  The
+    universe shrinks to
+    U(v) = N(N(v)) - N(u) - N(v) - N(N(u) inter N(v)). *)
+
+val broadcast : Manet_graph.Graph.t -> source:int -> Manet_broadcast.Result.t
+
+val forward_count : Manet_graph.Graph.t -> source:int -> int

@@ -1,0 +1,26 @@
+module Nodeset = Manet_graph.Nodeset
+
+let greedy ~universe ~candidates =
+  let remaining = ref universe in
+  let pool = ref (List.map (fun (id, s) -> (id, Nodeset.inter s universe)) candidates) in
+  let chosen = ref [] in
+  let continue = ref true in
+  while !continue do
+    let best =
+      List.fold_left
+        (fun acc (id, s) ->
+          let gain = Nodeset.cardinal (Nodeset.inter s !remaining) in
+          match acc with
+          | Some (_, best_gain) when best_gain >= gain -> acc
+          | Some _ | None -> if gain > 0 then Some (id, gain) else acc)
+        None !pool
+    in
+    match best with
+    | None -> continue := false
+    | Some (id, _) ->
+      chosen := id :: !chosen;
+      let covered = List.assoc id !pool in
+      remaining := Nodeset.diff !remaining covered;
+      pool := List.remove_assoc id !pool
+  done;
+  List.rev !chosen

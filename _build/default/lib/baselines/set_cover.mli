@@ -1,0 +1,16 @@
+(** Greedy set cover, the shared engine of the neighbor-selection
+    baselines (dominant pruning, PDP, MPR).
+
+    All three pick forward nodes by repeatedly choosing the candidate that
+    covers the most still-uncovered targets; they differ only in how the
+    target universe is pruned beforehand. *)
+
+val greedy :
+  universe:Manet_graph.Nodeset.t ->
+  candidates:(int * Manet_graph.Nodeset.t) list ->
+  int list
+(** [greedy ~universe ~candidates] returns candidate ids, in selection
+    order, such that the union of their sets covers every coverable
+    element of [universe].  Ties break toward the lowest candidate id.
+    Elements no candidate covers are ignored (callers for whom that is an
+    error check coverage themselves). *)

@@ -1,0 +1,72 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+type t = { graph : Graph.t; marked : Nodeset.t; members : Nodeset.t }
+
+let marking g =
+  let marked = ref Nodeset.empty in
+  for v = 0 to Graph.n g - 1 do
+    let nbrs = Graph.neighbors g v in
+    let has_unconnected_pair =
+      let found = ref false in
+      let d = Array.length nbrs in
+      for i = 0 to d - 1 do
+        for j = i + 1 to d - 1 do
+          if (not !found) && not (Graph.mem_edge g nbrs.(i) nbrs.(j)) then found := true
+        done
+      done;
+      !found
+    in
+    if has_unconnected_pair then marked := Nodeset.add v !marked
+  done;
+  !marked
+
+let build g =
+  let marked = marking g in
+  let members = ref marked in
+  let closed v = Graph.closed_neighborhood g v in
+  let opened v = Graph.open_neighborhood g v in
+  (* Rule 1: coverage by one higher-id marked neighbor. *)
+  Nodeset.iter
+    (fun v ->
+      let dominated =
+        Graph.fold_neighbors g v
+          (fun acc u ->
+            acc || (u > v && Nodeset.mem u !members && Nodeset.subset (closed v) (closed u)))
+          false
+      in
+      if dominated then members := Nodeset.remove v !members)
+    marked;
+  (* Rule 2: coverage by two adjacent higher-id marked neighbors.  Checked
+     against the post-Rule-1 member set, as in the original paper's
+     sequential application. *)
+  Nodeset.iter
+    (fun v ->
+      if Nodeset.mem v !members then begin
+        let nbrs = Graph.neighbors g v in
+        let d = Array.length nbrs in
+        let dominated = ref false in
+        for i = 0 to d - 1 do
+          for j = i + 1 to d - 1 do
+            let u = nbrs.(i) and w = nbrs.(j) in
+            if
+              (not !dominated)
+              && u > v && w > v
+              && Nodeset.mem u !members && Nodeset.mem w !members
+              && Graph.mem_edge g u w
+              && Nodeset.subset (opened v) (Nodeset.union (opened u) (opened w))
+            then dominated := true
+          done
+        done;
+        if !dominated then members := Nodeset.remove v !members
+      end)
+    marked;
+  { graph = g; marked; members = !members }
+
+let size t = Nodeset.cardinal t.members
+
+let in_cds t v = Nodeset.mem v t.members
+
+let is_cds t = Manet_graph.Dominating.is_cds t.graph t.members
+
+let broadcast t ~source = Manet_broadcast.Si.run t.graph ~in_cds:(in_cds t) ~source

@@ -1,0 +1,1 @@
+lib/broadcast/engine.ml: Array List Manet_graph Manet_sim Result

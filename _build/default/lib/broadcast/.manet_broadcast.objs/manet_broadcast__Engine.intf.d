@@ -1,0 +1,1 @@
+lib/broadcast/engine.mli: Manet_graph Result

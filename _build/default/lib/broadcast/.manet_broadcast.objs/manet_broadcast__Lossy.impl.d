@@ -1,0 +1,1 @@
+lib/broadcast/lossy.ml: Array Manet_graph Manet_rng Manet_sim Result

@@ -1,0 +1,1 @@
+lib/broadcast/lossy.mli: Manet_graph Manet_rng Result

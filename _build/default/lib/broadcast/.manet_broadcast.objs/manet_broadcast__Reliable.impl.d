@@ -1,0 +1,1 @@
+lib/broadcast/reliable.ml: Array Fun List Manet_graph Manet_rng

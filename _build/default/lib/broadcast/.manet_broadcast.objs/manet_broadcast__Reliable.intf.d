@@ -1,0 +1,1 @@
+lib/broadcast/reliable.mli: Manet_graph Manet_rng

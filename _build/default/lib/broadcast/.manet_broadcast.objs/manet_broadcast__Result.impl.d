@@ -1,0 +1,1 @@
+lib/broadcast/result.ml: Array Format Manet_graph

@@ -1,0 +1,1 @@
+lib/broadcast/result.mli: Format Manet_graph

@@ -1,0 +1,1 @@
+lib/broadcast/si.ml: Engine Manet_graph Result

@@ -1,0 +1,1 @@
+lib/broadcast/si.mli: Manet_graph Result

@@ -1,0 +1,45 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
+
+let run_traced g ~source ~initial ~decide =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Engine.run: source out of range";
+  let delivered = Array.make n false in
+  let transmitted = Array.make n false in
+  let forwarders = ref Nodeset.empty in
+  let completion = ref 0 in
+  let receptions = H.create () in
+  let trace = ref [] in
+  let transmit time v payload =
+    transmitted.(v) <- true;
+    forwarders := Nodeset.add v !forwarders;
+    trace := (time, v) :: !trace;
+    Graph.iter_neighbors g v (fun u ->
+        H.push receptions (Manet_sim.Event_key.reception ~time:(time + 1) ~node:u ~sender:v) payload)
+  in
+  delivered.(source) <- true;
+  transmit 0 source initial;
+  let rec drain () =
+    match H.pop receptions with
+    | None -> ()
+    | Some ({ Manet_sim.Event_key.time; node = receiver; sender; _ }, payload) ->
+      if not delivered.(receiver) then begin
+        delivered.(receiver) <- true;
+        completion := time
+      end;
+      (* Every copy is offered to the node until it transmits: a forward
+         designation can arrive in a later copy than the first. *)
+      if not transmitted.(receiver) then begin
+        match decide ~node:receiver ~from:sender ~payload with
+        | Some p -> transmit time receiver p
+        | None -> ()
+      end;
+      drain ()
+  in
+  drain ();
+  ( { Result.source; forwarders = !forwarders; delivered; completion_time = !completion },
+    List.rev !trace )
+
+let run g ~source ~initial ~decide = fst (run_traced g ~source ~initial ~decide)

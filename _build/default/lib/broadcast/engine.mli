@@ -1,0 +1,48 @@
+(** Generic broadcast-propagation engine.
+
+    Models the shared assumptions of every protocol in the paper: wireless
+    local broadcast (one transmission reaches all 1-hop neighbors one time
+    unit later), each node reacts only to its {e first} copy of the
+    packet, and collisions are handled below the network layer
+    (Section 4: "We assume that all the transmission collision and
+    contention are taken care of at the underground physical and MAC
+    layers").
+
+    A protocol is a [decide] callback: offered each received copy of the
+    packet (with the payload that copy carries), the node either stays
+    silent ([None]) or transmits a payload of its own ([Some p]).  A node
+    transmits at most once, and once it has transmitted it is never asked
+    again.  Offering {e every} copy until transmission matters for
+    source-dependent protocols: a node's forward-node designation can
+    arrive in a later copy than its first.  The SI-CDS broadcast, the
+    paper's dynamic backbone, flooding, dominant pruning, PDP and MPR are
+    all instances.
+
+    Determinism: receptions are processed in (time, receiver, sender)
+    order, so when several copies arrive in the same time unit the
+    receiver sees the one from the smallest sender id. *)
+
+val run :
+  Manet_graph.Graph.t ->
+  source:int ->
+  initial:'a ->
+  decide:(node:int -> from:int -> payload:'a -> 'a option) ->
+  Result.t
+(** [run g ~source ~initial ~decide]: the source transmits [initial] at
+    time 0 (the source always transmits and is counted as a forwarder;
+    [decide] is not called for it).  Each transmission by [v] at time [t]
+    delivers to every neighbor at [t + 1]; deliveries invoke [decide]
+    until the node transmits, and [Some p] schedules the node's own
+    transmission at its delivery time.  Runs until no transmission is in
+    flight.
+    @raise Invalid_argument if [source] is out of range. *)
+
+val run_traced :
+  Manet_graph.Graph.t ->
+  source:int ->
+  initial:'a ->
+  decide:(node:int -> from:int -> payload:'a -> 'a option) ->
+  Result.t * (int * int) list
+(** Like {!run}, additionally returning the transmission schedule as
+    [(time, node)] pairs in transmission order — a timeline for
+    inspection and visualization. *)

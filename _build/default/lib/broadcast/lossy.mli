@@ -1,0 +1,30 @@
+(** Broadcast under unreliable links (failure injection).
+
+    The paper's evaluation assumes a perfect MAC; real MANETs lose
+    packets.  This engine replays any {!Engine}-style protocol while
+    dropping each transmission-reception independently with probability
+    [loss], which exposes how much incidental redundancy each protocol
+    retains: blind flooding keeps near-perfect delivery, minimal
+    backbones degrade — the redundancy/efficiency trade-off the broadcast
+    storm literature discusses (used by the ext-lossy experiment).
+
+    Deterministic given the generator: drops are drawn from the supplied
+    {!Manet_rng.Rng.t} in (time, receiver, sender) processing order. *)
+
+val run :
+  Manet_graph.Graph.t ->
+  rng:Manet_rng.Rng.t ->
+  loss:float ->
+  source:int ->
+  initial:'a ->
+  decide:(node:int -> from:int -> payload:'a -> 'a option) ->
+  Result.t
+(** Same contract as {!Engine.run}, except each reception is dropped with
+    probability [loss] before the node sees it.
+    @raise Invalid_argument if [loss] is outside [\[0, 1\]] or [source]
+    is out of range. *)
+
+val flooding_delivery :
+  Manet_graph.Graph.t -> rng:Manet_rng.Rng.t -> loss:float -> source:int -> float
+(** Convenience: delivery ratio of blind flooding under the given loss —
+    the redundancy upper bound. *)

@@ -1,0 +1,88 @@
+module Graph = Manet_graph.Graph
+module Rng = Manet_rng.Rng
+
+type outcome = {
+  delivered : bool array;
+  acked : bool array;
+  data_transmissions : int;
+  ack_transmissions : int;
+  rounds : int;
+  complete : bool;
+}
+
+let run ?(max_rounds = 200) g ~rng ~loss ~root ~parent =
+  let n = Graph.n g in
+  if loss < 0. || loss > 1. then invalid_arg "Reliable.run: loss must be within [0, 1]";
+  if Array.length parent <> n then invalid_arg "Reliable.run: parent map has the wrong length";
+  if root < 0 || root >= n || parent.(root) <> -1 then
+    invalid_arg "Reliable.run: root's parent must be -1";
+  Array.iteri
+    (fun v p ->
+      if v <> root then
+        if p < 0 || p >= n || not (Graph.mem_edge g v p) then
+          invalid_arg "Reliable.run: parent must be a graph neighbor")
+    parent;
+  let children = Array.make n [] in
+  Array.iteri (fun v p -> if v <> root then children.(p) <- v :: children.(p)) parent;
+  let delivered = Array.make n false in
+  let acked = Array.make n false in
+  delivered.(root) <- true;
+  acked.(root) <- true;
+  let kept () = loss = 0. || Rng.float rng 1. >= loss in
+  let data_tx = ref 0 in
+  let ack_tx = ref 0 in
+  let rounds = ref 0 in
+  let unsettled v = List.exists (fun c -> not acked.(c)) children.(v) in
+  let active () =
+    let any = ref false in
+    for v = 0 to n - 1 do
+      if delivered.(v) && unsettled v then any := true
+    done;
+    !any
+  in
+  while active () && !rounds < max_rounds do
+    incr rounds;
+    (* Data phase: each node that held the packet at the start of the
+       round and has unacknowledged dependents transmits once; every
+       neighbor independently receives.  Dependents note whether they
+       heard their own parent this round (that is what they
+       acknowledge). *)
+    let holder = Array.init n (fun v -> delivered.(v) && unsettled v) in
+    let heard_parent = Array.make n false in
+    for v = 0 to n - 1 do
+      if holder.(v) then begin
+        incr data_tx;
+        Graph.iter_neighbors g v (fun u ->
+            if kept () then begin
+              delivered.(u) <- true;
+              if parent.(u) = v then heard_parent.(u) <- true
+            end)
+      end
+    done;
+    (* Ack phase: a delivered dependent that heard its parent replies;
+       the (unicast) ack is lost with the same probability. *)
+    for v = 0 to n - 1 do
+      if delivered.(v) && (not acked.(v)) && heard_parent.(v) then begin
+        incr ack_tx;
+        if kept () then acked.(v) <- true
+      end
+    done
+  done;
+  let complete = Array.for_all Fun.id delivered && Array.for_all Fun.id acked in
+  {
+    delivered;
+    acked;
+    data_transmissions = !data_tx;
+    ack_transmissions = !ack_tx;
+    rounds = !rounds;
+    complete;
+  }
+
+let delivery_ratio o =
+  let n = Array.length o.delivered in
+  if n = 0 then 1.
+  else
+    float_of_int (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 o.delivered)
+    /. float_of_int n
+
+let total_transmissions o = o.data_transmissions + o.ack_transmissions

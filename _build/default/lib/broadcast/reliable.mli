@@ -1,0 +1,47 @@
+(** Reliable broadcast by acknowledgement and retransmission over a
+    delivery tree (the machinery of Pagani and Rossi's reliable
+    cluster-based broadcast, Section 2 of the paper).
+
+    Every node is attached to the tree: forwarding members point to their
+    tree parent, every other node to a neighboring member responsible for
+    it (in the cluster structure, its clusterhead).  The protocol runs in
+    rounds over a lossy medium:
+
+    - a node holding the packet whose dependents (children in the parent
+      map) have not all acknowledged retransmits the data each round;
+    - a dependent that hears a data transmission from its parent replies
+      with an acknowledgement (unicast, equally lossy);
+    - a parent stops once every dependent has acknowledged.
+
+    The outcome reports the price of reliability: data and ack
+    transmissions until termination — the per-broadcast cost the paper
+    weighs against unreliable but cheap backbone forwarding. *)
+
+type outcome = {
+  delivered : bool array;
+  acked : bool array;  (** dependents whose ack reached their parent *)
+  data_transmissions : int;
+  ack_transmissions : int;
+  rounds : int;
+  complete : bool;  (** all nodes delivered and all acks collected *)
+}
+
+val run :
+  ?max_rounds:int ->
+  Manet_graph.Graph.t ->
+  rng:Manet_rng.Rng.t ->
+  loss:float ->
+  root:int ->
+  parent:int array ->
+  outcome
+(** [run g ~rng ~loss ~root ~parent]: [parent.(v)] is [v]'s tree parent
+    (must be a graph neighbor of [v]); [parent.(root) = -1].  The root
+    holds the packet initially.  [max_rounds] (default 200) bounds
+    pathological loss streaks; [complete = false] reports a timeout.
+    @raise Invalid_argument if [loss] is outside [\[0,1\]], the parent
+    map has the wrong length, a parent is not a neighbor, or the root's
+    parent is not -1. *)
+
+val delivery_ratio : outcome -> float
+
+val total_transmissions : outcome -> int

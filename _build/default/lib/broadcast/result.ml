@@ -1,0 +1,22 @@
+module Nodeset = Manet_graph.Nodeset
+
+type t = {
+  source : int;
+  forwarders : Nodeset.t;
+  delivered : bool array;
+  completion_time : int;
+}
+
+let forward_count t = Nodeset.cardinal t.forwarders
+
+let delivered_count t = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.delivered
+
+let delivery_ratio t =
+  let n = Array.length t.delivered in
+  if n = 0 then 1. else float_of_int (delivered_count t) /. float_of_int n
+
+let all_delivered t = Array.for_all (fun d -> d) t.delivered
+
+let pp fmt t =
+  Format.fprintf fmt "source=%d forwards=%d delivered=%d/%d time=%d" t.source (forward_count t)
+    (delivered_count t) (Array.length t.delivered) t.completion_time

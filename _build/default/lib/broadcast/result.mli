@@ -1,0 +1,24 @@
+(** Outcome of one simulated broadcast.
+
+    The paper's key metric is the size of the forward node set — the
+    number of nodes that transmit the packet, source included (its
+    Figure 3 (c) walk-through counts 9 forwarding nodes for the static
+    and 7 for the dynamic backbone, both including source node 1). *)
+
+type t = {
+  source : int;
+  forwarders : Manet_graph.Nodeset.t;  (** every node that transmitted, source included *)
+  delivered : bool array;  (** whether each node received the packet *)
+  completion_time : int;  (** hop-time of the last delivery; 0 if none *)
+}
+
+val forward_count : t -> int
+
+val delivered_count : t -> int
+
+val delivery_ratio : t -> float
+(** Delivered nodes over all nodes; 1.0 means full coverage. *)
+
+val all_delivered : t -> bool
+
+val pp : Format.formatter -> t -> unit

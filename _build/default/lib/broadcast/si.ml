@@ -1,0 +1,6 @@
+let run g ~in_cds ~source =
+  Engine.run g ~source ~initial:()
+    ~decide:(fun ~node ~from:_ ~payload:() -> if in_cds node then Some () else None)
+
+let forward_count_of_set g ~cds ~source =
+  Result.forward_count (run g ~in_cds:(fun v -> Manet_graph.Nodeset.mem v cds) ~source)

@@ -1,0 +1,20 @@
+(** Broadcasting over a source-independent CDS (Section 2).
+
+    "(1) The broadcast starts from the source by sending the broadcast
+    packet to all its neighbors.  (2) When a node in the CDS receives the
+    broadcast packet for the first time, it forwards the packet among its
+    neighbors; otherwise, it does nothing.  (3) When a node that is not in
+    the CDS receives the broadcast packet, it does nothing." *)
+
+val run :
+  Manet_graph.Graph.t -> in_cds:(int -> bool) -> source:int -> Result.t
+(** The source transmits whether or not it is in the CDS; afterwards only
+    CDS members forward.  With a valid CDS on a connected graph the result
+    satisfies [all_delivered] and the forward set is
+    [{source} union (CDS members reached)]. *)
+
+val forward_count_of_set :
+  Manet_graph.Graph.t -> cds:Manet_graph.Nodeset.t -> source:int -> int
+(** Convenience: forward-node count of a broadcast over the given set —
+    the quantity plotted in the paper's Figures 7 and 8 for SI
+    backbones. *)

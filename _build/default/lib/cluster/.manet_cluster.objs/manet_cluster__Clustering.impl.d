@@ -1,0 +1,1 @@
+lib/cluster/clustering.ml: Array Format List Manet_graph Printf String

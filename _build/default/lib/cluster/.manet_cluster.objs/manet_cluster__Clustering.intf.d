@@ -1,0 +1,1 @@
+lib/cluster/clustering.mli: Format Manet_graph

@@ -1,0 +1,1 @@
+lib/cluster/highest_degree.ml: Array Clustering List Manet_graph

@@ -1,0 +1,1 @@
+lib/cluster/highest_degree.mli: Clustering Manet_graph

@@ -1,0 +1,1 @@
+lib/cluster/lowest_id.ml: Array Clustering List Manet_graph

@@ -1,0 +1,1 @@
+lib/cluster/lowest_id.mli: Clustering Manet_graph

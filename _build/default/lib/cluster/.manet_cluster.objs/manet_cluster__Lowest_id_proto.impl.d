@@ -1,0 +1,1 @@
+lib/cluster/lowest_id_proto.ml: Array Clustering List Manet_graph Manet_sim

@@ -1,0 +1,1 @@
+lib/cluster/lowest_id_proto.mli: Clustering Manet_graph

@@ -1,0 +1,1 @@
+lib/cluster/maintenance.ml: Array Clustering List Lowest_id Manet_graph

@@ -1,0 +1,1 @@
+lib/cluster/maintenance.mli: Clustering Manet_graph

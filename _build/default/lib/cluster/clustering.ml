@@ -1,0 +1,59 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+type t = { graph_n : int; head_arr : int array; head_list : int list }
+
+let of_head_array g head_of =
+  let n = Graph.n g in
+  if Array.length head_of <> n then invalid_arg "Clustering.of_head_array: wrong length";
+  Array.iteri
+    (fun v h ->
+      if h < 0 || h >= n then invalid_arg "Clustering.of_head_array: head out of range";
+      if head_of.(h) <> h then invalid_arg "Clustering.of_head_array: head of a head must be itself";
+      if v <> h && not (Graph.mem_edge g v h) then
+        invalid_arg "Clustering.of_head_array: member not adjacent to its head")
+    head_of;
+  let heads =
+    Array.to_list head_of |> List.filteri (fun v h -> v = h) |> List.sort_uniq compare
+  in
+  let ok_independent =
+    List.for_all
+      (fun h -> not (Graph.fold_neighbors g h (fun acc u -> acc || head_of.(u) = u) false))
+      heads
+  in
+  if not ok_independent then
+    invalid_arg "Clustering.of_head_array: clusterheads are not an independent set";
+  { graph_n = n; head_arr = Array.copy head_of; head_list = heads }
+
+let head_of t v = t.head_arr.(v)
+let is_head t v = t.head_arr.(v) = v
+let heads t = t.head_list
+let head_set t = List.fold_left (fun s h -> Nodeset.add h s) Nodeset.empty t.head_list
+let num_clusters t = List.length t.head_list
+
+let members t h =
+  if not (is_head t h) then invalid_arg "Clustering.members: not a head";
+  let acc = ref [] in
+  for v = t.graph_n - 1 downto 0 do
+    if t.head_arr.(v) = h then acc := v :: !acc
+  done;
+  !acc
+
+let classic_gateways t g =
+  let s = ref Nodeset.empty in
+  for v = 0 to t.graph_n - 1 do
+    if not (is_head t v) then begin
+      let foreign =
+        Graph.fold_neighbors g v (fun acc u -> acc || t.head_arr.(u) <> t.head_arr.(v)) false
+      in
+      if foreign then s := Nodeset.add v !s
+    end
+  done;
+  !s
+
+let pp fmt t =
+  List.iter
+    (fun h ->
+      Format.fprintf fmt "cluster %d:%s@." h
+        (String.concat "" (List.map (Printf.sprintf " %d") (members t h))))
+    t.head_list

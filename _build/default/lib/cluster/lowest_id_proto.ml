@@ -1,0 +1,90 @@
+module Graph = Manet_graph.Graph
+
+type report = { clustering : Clustering.t; rounds : int; transmissions : int }
+
+module P = struct
+  type msg = Cluster_head of int | Non_cluster_head of int
+
+  type decision = Candidate | Head | Member of int
+
+  type state = {
+    id : int;
+    smaller_neighbors : int list;
+    mutable decision : decision;
+    mutable announced : bool;
+    mutable known_heads : int list;  (** neighbor heads heard so far, any order *)
+    mutable decided_smaller : int list;  (** smaller neighbors heard to be decided *)
+  }
+
+  let init g v =
+    {
+      id = v;
+      smaller_neighbors = Graph.fold_neighbors g v (fun l u -> if u < v then u :: l else l) [];
+      decision = Candidate;
+      announced = false;
+      known_heads = [];
+      decided_smaller = [];
+    }
+
+  let on_message s ~from m =
+    match m with
+    | Cluster_head h ->
+      s.known_heads <- h :: s.known_heads;
+      if from < s.id then s.decided_smaller <- from :: s.decided_smaller
+    | Non_cluster_head _ -> if from < s.id then s.decided_smaller <- from :: s.decided_smaller
+
+  (* A candidate joins as soon as it has heard any head (smallest of those
+     heard this far), and declares itself head once every smaller neighbor
+     has decided without any of them, or any other neighbor, being a
+     head. *)
+  let decide s =
+    match s.decision with
+    | Head | Member _ -> ()
+    | Candidate ->
+      (match List.sort compare s.known_heads with
+      | h :: _ -> s.decision <- Member h
+      | [] ->
+        if List.length s.decided_smaller = List.length s.smaller_neighbors then
+          s.decision <- Head)
+
+  let announce s =
+    match s.decision with
+    | Candidate -> []
+    | Head ->
+      s.announced <- true;
+      [ Cluster_head s.id ]
+    | Member h ->
+      s.announced <- true;
+      ignore h;
+      [ Non_cluster_head s.id ]
+
+  let on_start s =
+    decide s;
+    if s.decision = Candidate then [] else announce s
+
+  let on_round_end s =
+    if s.announced then []
+    else begin
+      decide s;
+      if s.decision = Candidate then [] else announce s
+    end
+end
+
+module R = Manet_sim.Rounds.Run (P)
+
+let run g =
+  let report = R.run g in
+  let head_of =
+    Array.map
+      (fun (s : P.state) ->
+        match s.decision with
+        | P.Head -> s.id
+        | P.Member h -> h
+        | P.Candidate -> failwith "Lowest_id_proto.run: node left undecided")
+      report.states
+  in
+  {
+    clustering = Clustering.of_head_array g head_of;
+    rounds = report.rounds;
+    transmissions = report.transmissions;
+  }

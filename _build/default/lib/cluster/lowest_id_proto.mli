@@ -1,0 +1,17 @@
+(** Distributed lowest-ID clustering as a message-passing protocol.
+
+    Runs the algorithm of Section 2 on the synchronous round engine:
+    a candidate that finds itself lowest among its candidate neighbors
+    broadcasts CLUSTER_HEAD; a candidate hearing CLUSTER_HEAD joins the
+    smallest declaring neighbor and broadcasts NON_CLUSTER_HEAD.  Every
+    node transmits exactly one declaration, so the message complexity is
+    n transmissions — the first O(n) term of the paper's complexity
+    analysis. *)
+
+type report = {
+  clustering : Clustering.t;
+  rounds : int;  (** rounds to quiescence; O(n), worst case the id-sorted chain *)
+  transmissions : int;  (** exactly [Graph.n g] *)
+}
+
+val run : Manet_graph.Graph.t -> report

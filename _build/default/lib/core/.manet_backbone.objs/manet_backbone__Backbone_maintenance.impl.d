@@ -1,0 +1,1 @@
+lib/core/backbone_maintenance.ml: Array Gateway_selection Hashtbl List Manet_cluster Manet_coverage Manet_graph Queue Static_backbone

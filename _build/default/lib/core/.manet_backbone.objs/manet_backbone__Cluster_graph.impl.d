@@ -1,0 +1,1 @@
+lib/core/cluster_graph.ml: Array Hashtbl Manet_cluster Manet_coverage Manet_graph

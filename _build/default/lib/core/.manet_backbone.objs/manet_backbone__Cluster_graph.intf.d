@@ -1,0 +1,1 @@
+lib/core/cluster_graph.mli: Hashtbl Manet_cluster Manet_coverage Manet_graph

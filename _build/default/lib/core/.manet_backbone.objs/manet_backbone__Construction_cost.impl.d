@@ -1,0 +1,1 @@
+lib/core/construction_cost.ml: Array Format Gateway_selection List Manet_cluster Manet_coverage Manet_graph Static_backbone

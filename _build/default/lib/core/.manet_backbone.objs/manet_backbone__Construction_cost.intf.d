@@ -1,0 +1,1 @@
+lib/core/construction_cost.mli: Format Manet_coverage Manet_graph Static_backbone

@@ -1,0 +1,1 @@
+lib/core/dynamic_backbone.ml: Array Format Gateway_selection List Manet_broadcast Manet_cluster Manet_coverage Manet_graph Manet_sim

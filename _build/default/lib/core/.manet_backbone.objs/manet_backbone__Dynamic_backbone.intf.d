@@ -1,0 +1,1 @@
+lib/core/dynamic_backbone.mli: Format Manet_broadcast Manet_cluster Manet_coverage Manet_graph

@@ -1,0 +1,1 @@
+lib/core/gateway_proto.ml: Array Gateway_selection List Manet_cluster Manet_coverage Manet_graph Manet_sim

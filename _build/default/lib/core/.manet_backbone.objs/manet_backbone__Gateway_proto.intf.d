@@ -1,0 +1,1 @@
+lib/core/gateway_proto.mli: Manet_cluster Manet_coverage Manet_graph

@@ -1,0 +1,1 @@
+lib/core/gateway_selection.ml: Array Hashtbl List Manet_coverage Manet_graph

@@ -1,0 +1,1 @@
+lib/core/gateway_selection.mli: Manet_coverage Manet_graph

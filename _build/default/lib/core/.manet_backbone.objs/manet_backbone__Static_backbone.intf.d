@@ -1,0 +1,1 @@
+lib/core/static_backbone.mli: Manet_broadcast Manet_cluster Manet_coverage Manet_graph

@@ -1,0 +1,153 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Bfs = Manet_graph.Bfs
+module Clustering = Manet_cluster.Clustering
+module Maintenance = Manet_cluster.Maintenance
+module Coverage = Manet_coverage.Coverage
+
+type t = {
+  mode : Coverage.mode;
+  maint : Maintenance.t;
+  mutable graph : Graph.t;
+  mutable head_of : int array;  (** snapshot for role-diffing *)
+  coverages : (int, Coverage.t) Hashtbl.t;  (** cached per current head *)
+  selections : (int, Nodeset.t) Hashtbl.t;
+}
+
+type report = {
+  cluster_events : Maintenance.events;
+  refreshed_heads : int;
+  ch_hop_messages : int;
+  gateway_messages : int;
+  total_messages : int;
+}
+
+let refresh_head t g cl h =
+  let cov = Coverage.of_head g cl t.mode h in
+  let sel = Gateway_selection.select cov ~targets:(Coverage.covered cov) in
+  Hashtbl.replace t.coverages h cov;
+  Hashtbl.replace t.selections h sel;
+  (* one GATEWAY message by the head, forwarded by each selected 1-hop
+     gateway (TTL 2) *)
+  1 + Nodeset.cardinal (Nodeset.inter sel (Graph.open_neighborhood g h))
+
+let head_of_array cl n = Array.init n (fun v -> Clustering.head_of cl v)
+
+let create g mode =
+  let maint = Maintenance.create g in
+  let cl = Maintenance.clustering maint in
+  let t =
+    {
+      mode;
+      maint;
+      graph = g;
+      head_of = head_of_array cl (Graph.n g);
+      coverages = Hashtbl.create 32;
+      selections = Hashtbl.create 32;
+    }
+  in
+  List.iter (fun h -> ignore (refresh_head t g cl h)) (Clustering.heads cl);
+  t
+
+(* Nodes within [limit] hops of any seed, via multi-source BFS. *)
+let ball g seeds ~limit =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  Nodeset.iter
+    (fun v ->
+      dist.(v) <- 0;
+      Queue.add v q)
+    seeds;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if dist.(u) < limit then
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+  done;
+  dist
+
+let update t g =
+  let n = Graph.n g in
+  if n <> Graph.n t.graph then invalid_arg "Backbone_maintenance.update: node count changed";
+  let old_graph = t.graph in
+  let old_head_of = t.head_of in
+  let cluster_events = Maintenance.update t.maint g in
+  let cl = Maintenance.clustering t.maint in
+  let new_head_of = head_of_array cl n in
+  (* Affected nodes: adjacency changed or cluster role changed. *)
+  let affected = ref Nodeset.empty in
+  for v = 0 to n - 1 do
+    if Graph.neighbors old_graph v <> Graph.neighbors g v || old_head_of.(v) <> new_head_of.(v)
+    then affected := Nodeset.add v !affected
+  done;
+  let report =
+    if Nodeset.is_empty !affected then
+      {
+        cluster_events;
+        refreshed_heads = 0;
+        ch_hop_messages = 0;
+        gateway_messages = 0;
+        total_messages = cluster_events.messages;
+      }
+    else begin
+      let dist_old = ball old_graph !affected ~limit:3 in
+      let dist_new = ball g !affected ~limit:3 in
+      (* Heads keeping an identical, untouched 3-hop ball keep their
+         cached coverage; everyone else refreshes. *)
+      let needs_refresh h = dist_old.(h) <= 3 || dist_new.(h) <= 3 in
+      let old_selections = Hashtbl.copy t.selections in
+      let old_coverages = Hashtbl.copy t.coverages in
+      (* Rebuild the caches over the current head set: deposed heads drop
+         out, untouched heads keep their exact old coverage/selection. *)
+      Hashtbl.reset t.selections;
+      Hashtbl.reset t.coverages;
+      let refreshed = ref 0 in
+      let gateway_messages = ref 0 in
+      List.iter
+        (fun h ->
+          if needs_refresh h || not (Hashtbl.mem old_selections h) then begin
+            incr refreshed;
+            gateway_messages := !gateway_messages + refresh_head t g cl h
+          end
+          else begin
+            Hashtbl.replace t.selections h (Hashtbl.find old_selections h);
+            Hashtbl.replace t.coverages h (Hashtbl.find old_coverages h)
+          end)
+        (Clustering.heads cl);
+      (* CH_HOP refresh: non-heads within 2 hops of a change re-announce
+         their CH_HOP1 and CH_HOP2. *)
+      let ch_hop = ref 0 in
+      for v = 0 to n - 1 do
+        if (not (Clustering.is_head cl v)) && dist_new.(v) <= 2 then ch_hop := !ch_hop + 2
+      done;
+      {
+        cluster_events;
+        refreshed_heads = !refreshed;
+        ch_hop_messages = !ch_hop;
+        gateway_messages = !gateway_messages;
+        total_messages = cluster_events.messages + !ch_hop + !gateway_messages;
+      }
+    end
+  in
+  t.graph <- g;
+  t.head_of <- new_head_of;
+  report
+
+let backbone t =
+  let cl = Maintenance.clustering t.maint in
+  let n = Graph.n t.graph in
+  let coverages = Array.make n None in
+  Hashtbl.iter (fun h cov -> coverages.(h) <- Some cov) t.coverages;
+  let gateways = Hashtbl.fold (fun _ sel acc -> Nodeset.union acc sel) t.selections Nodeset.empty in
+  {
+    Static_backbone.graph = t.graph;
+    clustering = cl;
+    mode = t.mode;
+    coverages;
+    gateways;
+    members = Nodeset.union (Clustering.head_set cl) gateways;
+  }

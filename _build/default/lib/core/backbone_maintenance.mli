@@ -1,0 +1,43 @@
+(** Incremental maintenance of the static backbone under topology change
+    — the machinery whose cost the paper argues against (Section 1:
+    "maintaining such a backbone infrastructure in a mobile environment
+    is a costly operation").
+
+    On each topology update the clustering is repaired incrementally
+    ({!Manet_cluster.Maintenance}), and only the clusterheads whose 3-hop
+    neighborhood was touched — by a link change or by a role change —
+    recompute their coverage sets and gateway selections.  Heads farther
+    away provably see an identical 3-hop ball, so their cached coverage
+    and selection are still exact, and the incrementally maintained
+    backbone equals a from-scratch rebuild over the same clustering (the
+    test suite asserts this equivalence along random-waypoint
+    trajectories).
+
+    Message accounting per update:
+    - clustering repair: one transmission per role change;
+    - CH_HOP refresh: two transmissions per non-clusterhead within two
+      hops of a change (their CH_HOP1/CH_HOP2 must be re-announced);
+    - GATEWAY refresh: per refreshed head, one GATEWAY message plus one
+      forward by each selected 1-hop gateway. *)
+
+type t
+
+val create : Manet_graph.Graph.t -> Manet_coverage.Coverage.mode -> t
+(** Build the initial backbone from the lowest-ID clustering of the
+    initial topology. *)
+
+type report = {
+  cluster_events : Manet_cluster.Maintenance.events;
+  refreshed_heads : int;  (** heads that recomputed coverage + gateways *)
+  ch_hop_messages : int;
+  gateway_messages : int;
+  total_messages : int;
+}
+
+val update : t -> Manet_graph.Graph.t -> report
+(** Adapt to a new topology snapshot (same node count).
+    @raise Invalid_argument on a node-count mismatch. *)
+
+val backbone : t -> Static_backbone.t
+(** The currently maintained backbone (equal to
+    [Static_backbone.build ~clustering:(current clustering) graph mode]). *)

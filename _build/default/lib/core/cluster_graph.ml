@@ -1,0 +1,43 @@
+module Digraph = Manet_graph.Digraph
+module Clustering = Manet_cluster.Clustering
+module Coverage = Manet_coverage.Coverage
+
+type t = {
+  digraph : Digraph.t;
+  head_of_vertex : int array;
+  vertex_of_head : (int, int) Hashtbl.t;
+}
+
+let of_coverages cl coverages =
+  let heads = Clustering.heads cl in
+  let head_of_vertex = Array.of_list heads in
+  let vertex_of_head = Hashtbl.create (Array.length head_of_vertex) in
+  Array.iteri (fun i h -> Hashtbl.add vertex_of_head h i) head_of_vertex;
+  let edges = ref [] in
+  Array.iteri
+    (fun i h ->
+      match coverages.(h) with
+      | None -> ()
+      | Some cov ->
+        Manet_graph.Nodeset.iter
+          (fun w -> edges := (i, Hashtbl.find vertex_of_head w) :: !edges)
+          (Coverage.covered cov))
+    head_of_vertex;
+  { digraph = Digraph.of_edges ~n:(Array.length head_of_vertex) !edges; head_of_vertex; vertex_of_head }
+
+let build g cl mode = of_coverages cl (Coverage.all g cl mode)
+
+let is_strongly_connected t = Digraph.is_strongly_connected t.digraph
+
+let num_vertices t = Digraph.n t.digraph
+
+let num_links t = Digraph.m t.digraph
+
+let is_symmetric t =
+  let ok = ref true in
+  for v = 0 to Digraph.n t.digraph - 1 do
+    Array.iter
+      (fun w -> if not (Digraph.mem_arc t.digraph w v) then ok := false)
+      (Digraph.successors t.digraph v)
+  done;
+  !ok

@@ -1,0 +1,38 @@
+(** The cluster graph G' of a clustered network (Section 3, after
+    Figure 3).
+
+    Each vertex of G' is a cluster, represented by its clusterhead; there
+    is a directed link (v, w) from clusterhead v to every clusterhead w in
+    C(v).  With the 3-hop coverage set the relation is symmetric; with the
+    2.5-hop coverage set it need not be.  Lou and Wu proved G' is strongly
+    connected for a connected network under either coverage set — the
+    property Theorem 1 (static backbone is a CDS) rests on.  The test
+    suite checks strong connectivity on thousands of random connected
+    topologies. *)
+
+type t = {
+  digraph : Manet_graph.Digraph.t;  (** vertices are clusterhead indices *)
+  head_of_vertex : int array;  (** vertex index -> clusterhead node id *)
+  vertex_of_head : (int, int) Hashtbl.t;  (** clusterhead node id -> vertex *)
+}
+
+val build :
+  Manet_graph.Graph.t ->
+  Manet_cluster.Clustering.t ->
+  Manet_coverage.Coverage.mode ->
+  t
+
+val of_coverages :
+  Manet_cluster.Clustering.t -> Manet_coverage.Coverage.t option array -> t
+(** Build from already-computed coverage sets (avoids recomputation when a
+    backbone construction has them in hand). *)
+
+val is_strongly_connected : t -> bool
+
+val num_vertices : t -> int
+
+val num_links : t -> int
+
+val is_symmetric : t -> bool
+(** Whether every link has its reverse — always true in 3-hop mode,
+    possibly false in 2.5-hop mode (the paper's Figure 4 example). *)

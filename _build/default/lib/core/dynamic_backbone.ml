@@ -1,0 +1,145 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Clustering = Manet_cluster.Clustering
+module Coverage = Manet_coverage.Coverage
+
+type pruning = Sender_only | Coverage_piggyback | Coverage_and_relay
+
+let pp_pruning fmt = function
+  | Sender_only -> Format.pp_print_string fmt "sender-only"
+  | Coverage_piggyback -> Format.pp_print_string fmt "coverage"
+  | Coverage_and_relay -> Format.pp_print_string fmt "coverage+relay"
+
+(* What the paper piggybacks with the packet: the upstream clusterhead and
+   its coverage set.  [relayer_heads] is the 1-hop clusterhead set of the
+   transmitting node, enabling the N(r) exclusion (a clusterhead
+   transmitter has no neighboring clusterheads, so it is empty on
+   head-to-gateway hops). *)
+type packet = {
+  upstream : int option;
+  upstream_coverage : Nodeset.t;
+  relayer_heads : Nodeset.t;
+}
+
+(* Event-loop design.  A clusterhead transmits on its first reception.  A
+   gateway selected by clusterhead h relays exactly once, at
+   h's-transmission-time + its hop distance from h (1 for direct
+   neighbors, 2 for second hops of connector pairs): the [Designate]
+   event.  Driving relays by designation events rather than by matching
+   the forward list piggybacked in received copies resolves a race the
+   paper's accounting ignores: a gateway serving two clusterheads
+   transmits only once, and the second clusterhead's 2-hop/3-hop chains
+   must still complete (its targets already hold the packet data from the
+   gateway's earlier transmission of this same broadcast; only the
+   designation, a 2-hop control signal, still travels).  See DESIGN.md,
+   "Dynamic broadcast". *)
+module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
+
+type event = Reception of packet | Designate of packet
+
+let neighbor_heads g cl v =
+  Graph.fold_neighbors g v
+    (fun s u -> if Clustering.is_head cl u then Nodeset.add u s else s)
+    Nodeset.empty
+
+let broadcast_traced ?(pruning = Coverage_and_relay) ?coverages g cl mode ~source =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Dynamic_backbone.broadcast: source out of range";
+  let coverages = match coverages with Some c -> c | None -> Coverage.all g cl mode in
+  let coverage_of h =
+    match coverages.(h) with
+    | Some c -> c
+    | None -> invalid_arg "Dynamic_backbone.broadcast: stale coverage array"
+  in
+  let delivered = Array.make n false in
+  let transmitted = Array.make n false in
+  let forwarders = ref Nodeset.empty in
+  let completion = ref 0 in
+  let events = H.create () in
+  let trace = ref [] in
+  let transmit time v pkt =
+    transmitted.(v) <- true;
+    forwarders := Nodeset.add v !forwarders;
+    trace := (time, v) :: !trace;
+    Graph.iter_neighbors g v (fun u ->
+        H.push events (Manet_sim.Event_key.reception ~time:(time + 1) ~node:u ~sender:v) (Reception pkt))
+  in
+  let prune_targets h pkt =
+    let targets = Coverage.covered (coverage_of h) in
+    match pkt with
+    | None -> targets
+    | Some p ->
+      let drop_upstream t =
+        match p.upstream with Some u -> Nodeset.remove u t | None -> t
+      in
+      (match pruning with
+      | Sender_only -> drop_upstream targets
+      | Coverage_piggyback -> drop_upstream (Nodeset.diff targets p.upstream_coverage)
+      | Coverage_and_relay ->
+        Nodeset.diff (drop_upstream (Nodeset.diff targets p.upstream_coverage)) p.relayer_heads)
+  in
+  let head_transmit time h pkt =
+    let cov = coverage_of h in
+    let targets = prune_targets h pkt in
+    let forwards = Gateway_selection.select cov ~targets in
+    let outgoing =
+      {
+        upstream = Some h;
+        upstream_coverage = Coverage.covered cov;
+        relayer_heads = Nodeset.empty;
+      }
+    in
+    (* Designation reaches a selected gateway together with the packet:
+       one hop for direct neighbors of h, two hops for the second nodes of
+       connector pairs. *)
+    Nodeset.iter
+      (fun x ->
+        let hops = if Graph.mem_edge g h x then 1 else 2 in
+        H.push events (Manet_sim.Event_key.reception ~time:(time + hops) ~node:x ~sender:h) (Designate outgoing))
+      forwards;
+    transmit time h outgoing
+  in
+  (* Source transmission. *)
+  if Clustering.is_head cl source then head_transmit 0 source None
+  else
+    transmit 0 source
+      {
+        upstream = None;
+        upstream_coverage = Nodeset.empty;
+        relayer_heads = neighbor_heads g cl source;
+      };
+  delivered.(source) <- true;
+  (* Event loop. *)
+  let rec drain () =
+    match H.pop events with
+    | None -> ()
+    | Some ({ Manet_sim.Event_key.time; node = receiver; _ }, ev) ->
+      (match ev with
+      | Reception pkt ->
+        if not delivered.(receiver) then begin
+          delivered.(receiver) <- true;
+          completion := time
+        end;
+        if Clustering.is_head cl receiver && not transmitted.(receiver) then
+          head_transmit time receiver (Some pkt)
+      | Designate pkt ->
+        (* The designated gateway holds the packet data (its designating
+           clusterhead is within 2 hops and every node on the connector
+           path has transmitted this broadcast or does so now). *)
+        if not delivered.(receiver) then begin
+          delivered.(receiver) <- true;
+          completion := time
+        end;
+        if not transmitted.(receiver) then
+          transmit time receiver { pkt with relayer_heads = neighbor_heads g cl receiver });
+      drain ()
+  in
+  drain ();
+  ( { Manet_broadcast.Result.source; forwarders = !forwarders; delivered; completion_time = !completion },
+    List.rev !trace )
+
+let broadcast ?pruning ?coverages g cl mode ~source =
+  fst (broadcast_traced ?pruning ?coverages g cl mode ~source)
+
+let forward_set ?pruning g cl mode ~source =
+  (broadcast ?pruning g cl mode ~source).Manet_broadcast.Result.forwarders

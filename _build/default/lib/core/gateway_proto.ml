@@ -1,0 +1,61 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Clustering = Manet_cluster.Clustering
+module Coverage = Manet_coverage.Coverage
+
+type report = { informed : Nodeset.t; rounds : int; transmissions : int }
+
+type msg = Gateway of { from_head : int; selected : Nodeset.t; ttl : int }
+
+type state = {
+  id : int;
+  is_head : bool;
+  selection : Nodeset.t;  (** a head's own selection; empty otherwise *)
+  mutable informed : bool;
+  mutable pending : msg list;  (** forwards queued for the next round *)
+  mutable forwarded : Nodeset.t;  (** heads whose message was already forwarded *)
+}
+
+let run g cl mode =
+  let module P = struct
+    type nonrec msg = msg
+
+    type nonrec state = state
+
+    let init _g v =
+      let is_head = Clustering.is_head cl v in
+      let selection =
+        if is_head then begin
+          let cov = Coverage.of_head g cl mode v in
+          Gateway_selection.select cov ~targets:(Coverage.covered cov)
+        end
+        else Nodeset.empty
+      in
+      { id = v; is_head; selection; informed = false; pending = []; forwarded = Nodeset.empty }
+
+    let on_start s =
+      if s.is_head then [ Gateway { from_head = s.id; selected = s.selection; ttl = 2 } ]
+      else []
+
+    let on_message s ~from:_ (Gateway { from_head; selected; ttl }) =
+      if Nodeset.mem s.id selected then begin
+        s.informed <- true;
+        if ttl - 1 > 0 && not (Nodeset.mem from_head s.forwarded) then begin
+          s.forwarded <- Nodeset.add from_head s.forwarded;
+          s.pending <- Gateway { from_head; selected; ttl = ttl - 1 } :: s.pending
+        end
+      end
+
+    let on_round_end s =
+      let out = List.rev s.pending in
+      s.pending <- [];
+      out
+  end in
+  let module R = Manet_sim.Rounds.Run (P) in
+  let result = R.run g in
+  let informed =
+    Array.fold_left
+      (fun acc (s : state) -> if s.informed then Nodeset.add s.id acc else acc)
+      Nodeset.empty result.states
+  in
+  { informed; rounds = result.rounds; transmissions = result.transmissions }

@@ -1,0 +1,27 @@
+(** The GATEWAY notification protocol (Section 3).
+
+    "After a clusterhead determines its gateways, it broadcasts a GATEWAY
+    message that contains all the selected nodes among its 2-hop neighbor
+    set by setting the time-to-live field (TTL) of the message to 2.  The
+    selected nodes will be informed to become gateways when they receive
+    the GATEWAY message and will forward the message if the TTL field of
+    the message does not reach 0."
+
+    Runs on the synchronous round engine after clustering and coverage
+    are known (each clusterhead computes its selection locally).  The
+    test suite checks that the nodes informed by the protocol are exactly
+    the gateways of {!Static_backbone.build}, and that the transmission
+    count matches {!Construction_cost}'s analytic accounting — closing
+    the loop on the fully distributed construction. *)
+
+type report = {
+  informed : Manet_graph.Nodeset.t;  (** nodes that learned they are gateways *)
+  rounds : int;
+  transmissions : int;  (** head broadcasts plus TTL forwards *)
+}
+
+val run :
+  Manet_graph.Graph.t ->
+  Manet_cluster.Clustering.t ->
+  Manet_coverage.Coverage.mode ->
+  report

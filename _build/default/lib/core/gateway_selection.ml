@@ -1,0 +1,108 @@
+module Nodeset = Manet_graph.Nodeset
+module Coverage = Manet_coverage.Coverage
+
+(* Per-candidate view: which 2-hop targets a neighbor v covers directly,
+   and which 3-hop targets it covers indirectly (with the second hop). *)
+type candidate = {
+  v : int;
+  mutable direct : Nodeset.t;  (** clusterheads of c2 reached through v *)
+  mutable indirect : (int * int) list;  (** (clusterhead of c3, second hop w) *)
+}
+
+let select (cov : Coverage.t) ~targets =
+  let t2 = ref (Nodeset.inter targets (Coverage.c2_set cov)) in
+  let t3 = ref (Nodeset.inter targets (Coverage.c3_set cov)) in
+  let selected = ref Nodeset.empty in
+  (* Build candidate tables restricted to the targets. *)
+  let by_v : (int, candidate) Hashtbl.t = Hashtbl.create 16 in
+  let candidate v =
+    match Hashtbl.find_opt by_v v with
+    | Some c -> c
+    | None ->
+      let c = { v; direct = Nodeset.empty; indirect = [] } in
+      Hashtbl.add by_v v c;
+      c
+  in
+  List.iter
+    (fun (ch, connectors) ->
+      if Nodeset.mem ch !t2 then
+        Array.iter
+          (fun v ->
+            let c = candidate v in
+            c.direct <- Nodeset.add ch c.direct)
+          connectors)
+    cov.c2;
+  List.iter
+    (fun (ch, pairs) ->
+      if Nodeset.mem ch !t3 then
+        Array.iter
+          (fun (v, w) ->
+            let c = candidate v in
+            c.indirect <- (ch, w) :: c.indirect)
+          pairs)
+    cov.c3;
+  (* Phase 1: greedy direct coverage of the 2-hop targets. *)
+  let live_direct c = Nodeset.cardinal (Nodeset.inter c.direct !t2) in
+  let live_indirect c =
+    List.fold_left
+      (fun acc (ch, _) -> if Nodeset.mem ch !t3 then acc + 1 else acc)
+      0 c.indirect
+  in
+  let better a b =
+    (* true when a beats b: more direct, then more indirect, then lower id *)
+    let da = live_direct a and db = live_direct b in
+    if da <> db then da > db
+    else begin
+      let ia = live_indirect a and ib = live_indirect b in
+      if ia <> ib then ia > ib else a.v < b.v
+    end
+  in
+  while not (Nodeset.is_empty !t2) do
+    let best =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if live_direct c = 0 then acc
+          else match acc with Some b when better b c -> acc | Some _ | None -> Some c)
+        by_v None
+    in
+    match best with
+    | None ->
+      (* Cannot happen for well-formed coverage sets: every c2 entry has a
+         connector.  Guard against an impossible loop anyway. *)
+      t2 := Nodeset.empty
+    | Some c ->
+      selected := Nodeset.add c.v !selected;
+      t2 := Nodeset.diff !t2 c.direct;
+      List.iter
+        (fun (ch, w) ->
+          if Nodeset.mem ch !t3 then begin
+            t3 := Nodeset.remove ch !t3;
+            selected := Nodeset.add w !selected
+          end)
+        c.indirect
+  done;
+  (* Phase 2: connect the remaining 3-hop targets with pairs, preferring
+     pairs that reuse already-selected gateways. *)
+  let pair_score (v, w) =
+    (if Nodeset.mem v !selected then 1 else 0) + if Nodeset.mem w !selected then 1 else 0
+  in
+  List.iter
+    (fun (ch, pairs) ->
+      if Nodeset.mem ch !t3 then begin
+        let best = ref None in
+        Array.iter
+          (fun p ->
+            match !best with
+            | None -> best := Some p
+            | Some b ->
+              let sp = pair_score p and sb = pair_score b in
+              if sp > sb || (sp = sb && p < b) then best := Some p)
+          pairs;
+        match !best with
+        | Some (v, w) ->
+          t3 := Nodeset.remove ch !t3;
+          selected := Nodeset.add v (Nodeset.add w !selected)
+        | None -> ()
+      end)
+    cov.c3;
+  !selected

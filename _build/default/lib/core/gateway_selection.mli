@@ -1,0 +1,27 @@
+(** The paper's greedy gateway-selection heuristic (Section 3).
+
+    Given a clusterhead's coverage set, choose gateways connecting it to a
+    set of target clusterheads:
+
+    {ol
+    {- While uncovered 2-hop targets remain, select the neighbor that
+       directly covers the most of them; break ties by the number of
+       3-hop targets it covers indirectly, then by lowest node id.
+       Selecting a neighbor also covers every 3-hop target it reaches
+       indirectly, pulling in the associated second-hop node as a
+       gateway.}
+    {- Any 3-hop targets left are connected by a pair of
+       non-clusterheads.  The paper leaves the pair choice open; we prefer
+       pairs reusing already-selected gateways, then the lexicographically
+       smallest pair — a deterministic choice documented in DESIGN.md.}}
+
+    The same routine serves the static backbone (targets = the whole
+    coverage set) and the dynamic backbone (targets = the coverage set
+    pruned by upstream history). *)
+
+val select :
+  Manet_coverage.Coverage.t -> targets:Manet_graph.Nodeset.t -> Manet_graph.Nodeset.t
+(** [select cov ~targets] returns the selected gateway nodes (first and
+    second hops mixed; all non-clusterheads).  Targets outside the
+    coverage set are ignored; an empty effective target set yields the
+    empty selection. *)

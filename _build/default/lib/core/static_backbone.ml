@@ -1,0 +1,39 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Dominating = Manet_graph.Dominating
+module Clustering = Manet_cluster.Clustering
+module Coverage = Manet_coverage.Coverage
+
+type t = {
+  graph : Graph.t;
+  clustering : Clustering.t;
+  mode : Coverage.mode;
+  coverages : Coverage.t option array;
+  gateways : Nodeset.t;
+  members : Nodeset.t;
+}
+
+let build ?clustering g mode =
+  let clustering =
+    match clustering with Some c -> c | None -> Manet_cluster.Lowest_id.cluster g
+  in
+  let coverages = Coverage.all g clustering mode in
+  let gateways =
+    Array.fold_left
+      (fun acc cov ->
+        match cov with
+        | None -> acc
+        | Some cov ->
+          Nodeset.union acc (Gateway_selection.select cov ~targets:(Coverage.covered cov)))
+      Nodeset.empty coverages
+  in
+  let members = Nodeset.union (Clustering.head_set clustering) gateways in
+  { graph = g; clustering; mode; coverages; gateways; members }
+
+let size t = Nodeset.cardinal t.members
+
+let in_backbone t v = Nodeset.mem v t.members
+
+let is_cds t = Dominating.is_cds t.graph t.members
+
+let broadcast t ~source = Manet_broadcast.Si.run t.graph ~in_cds:(in_backbone t) ~source

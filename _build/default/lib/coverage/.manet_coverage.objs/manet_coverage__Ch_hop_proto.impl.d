@@ -1,0 +1,1 @@
+lib/coverage/ch_hop_proto.ml: Array Coverage Hashtbl List Manet_cluster Manet_graph Manet_sim Option

@@ -1,0 +1,1 @@
+lib/coverage/ch_hop_proto.mli: Coverage Manet_cluster Manet_graph

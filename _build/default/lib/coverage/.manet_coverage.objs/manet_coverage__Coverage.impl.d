@@ -1,0 +1,1 @@
+lib/coverage/coverage.ml: Array Format Hashtbl List Manet_cluster Manet_graph Option

@@ -1,0 +1,20 @@
+(** The CH_HOP1 / CH_HOP2 neighborhood-information exchange (Section 3) as
+    a message-passing protocol.
+
+    After clustering, each non-clusterhead broadcasts CH_HOP1 (its 1-hop
+    neighboring clusterheads, its own marked) and, once it has heard its
+    non-clusterhead neighbors' CH_HOP1 messages, CH_HOP2 (its 2-hop
+    clusterhead entries).  Clusterheads assemble their coverage sets from
+    what they hear.  Exactly two transmissions per non-clusterhead, so the
+    exchange costs 2(n - #clusterheads) messages.
+
+    The test suite checks the result equals {!Coverage.of_head} on random
+    graphs — the centralized and distributed constructions agree. *)
+
+type report = {
+  coverages : Coverage.t option array;  (** [Some] exactly at clusterheads *)
+  rounds : int;
+  transmissions : int;
+}
+
+val run : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> Coverage.mode -> report

@@ -1,0 +1,105 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Clustering = Manet_cluster.Clustering
+
+type mode = Hop25 | Hop3
+
+let pp_mode fmt = function
+  | Hop25 -> Format.pp_print_string fmt "2.5-hop"
+  | Hop3 -> Format.pp_print_string fmt "3-hop"
+
+type t = {
+  owner : int;
+  mode : mode;
+  c2 : (int * int array) list;
+  c3 : (int * (int * int) array) list;
+}
+
+let ch_hop1 g cl v =
+  if Clustering.is_head cl v then invalid_arg "Coverage.ch_hop1: clusterheads do not send CH_HOP1";
+  Graph.fold_neighbors g v
+    (fun s u -> if Clustering.is_head cl u then Nodeset.add u s else s)
+    Nodeset.empty
+
+let ch_hop2 g cl mode v =
+  if Clustering.is_head cl v then invalid_arg "Coverage.ch_hop2: clusterheads do not send CH_HOP2";
+  (* Scanning neighbors in increasing id keeps, per clusterhead, the entry
+     with the smallest via node — the first CH_HOP1 the protocol hears. *)
+  let entries = Hashtbl.create 8 in
+  let order = ref [] in
+  Graph.iter_neighbors g v (fun w ->
+      if not (Clustering.is_head cl w) then begin
+        let candidates =
+          match mode with
+          | Hop25 -> [ Clustering.head_of cl w ]
+          | Hop3 -> Nodeset.elements (ch_hop1 g cl w)
+        in
+        List.iter
+          (fun c ->
+            if (not (Graph.mem_edge g v c)) && not (Hashtbl.mem entries c) then begin
+              Hashtbl.add entries c w;
+              order := c :: !order
+            end)
+          candidates
+      end);
+  List.sort compare (List.rev_map (fun c -> (c, Hashtbl.find entries c)) !order)
+
+let of_head g cl mode u =
+  if not (Clustering.is_head cl u) then invalid_arg "Coverage.of_head: not a clusterhead";
+  (* C2: all clusterheads named by the neighbors' CH_HOP1 messages, with
+     the naming neighbors as direct connectors. *)
+  let c2_tbl = Hashtbl.create 8 in
+  Graph.iter_neighbors g u (fun v ->
+      Nodeset.iter
+        (fun c ->
+          if c <> u then
+            Hashtbl.replace c2_tbl c
+              (v :: (Option.value ~default:[] (Hashtbl.find_opt c2_tbl c))))
+        (ch_hop1 g cl v));
+  let c2 =
+    Hashtbl.fold (fun c vs acc -> (c, Array.of_list (List.sort compare vs)) :: acc) c2_tbl []
+    |> List.sort compare
+  in
+  (* C3: entries of the neighbors' CH_HOP2 messages, dropping clusterheads
+     already in C2 (and u itself). *)
+  let c3_tbl = Hashtbl.create 8 in
+  Graph.iter_neighbors g u (fun v ->
+      List.iter
+        (fun (c, w) ->
+          if c <> u && not (Hashtbl.mem c2_tbl c) then
+            Hashtbl.replace c3_tbl c
+              ((v, w) :: (Option.value ~default:[] (Hashtbl.find_opt c3_tbl c))))
+        (ch_hop2 g cl mode v));
+  let c3 =
+    Hashtbl.fold (fun c ps acc -> (c, Array.of_list (List.sort compare ps)) :: acc) c3_tbl []
+    |> List.sort compare
+  in
+  { owner = u; mode; c2; c3 }
+
+let all g cl mode =
+  Array.init (Graph.n g) (fun v ->
+      if Clustering.is_head cl v then Some (of_head g cl mode v) else None)
+
+let keys l = List.fold_left (fun s (c, _) -> Nodeset.add c s) Nodeset.empty l
+
+let c2_set t = keys t.c2
+let c3_set t = keys t.c3
+let covered t = Nodeset.union (c2_set t) (c3_set t)
+let size t = List.length t.c2 + List.length t.c3
+
+let pp fmt t =
+  let pp_pair fmt (v, w) = Format.fprintf fmt "(%d,%d)" v w in
+  Format.fprintf fmt "C(%d) [%a]: C2 =" t.owner pp_mode t.mode;
+  List.iter
+    (fun (c, vs) ->
+      Format.fprintf fmt " %d via {%a}" c
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Format.pp_print_int)
+        (Array.to_list vs))
+    t.c2;
+  Format.fprintf fmt "; C3 =";
+  List.iter
+    (fun (c, ps) ->
+      Format.fprintf fmt " %d via {%a}" c
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") pp_pair)
+        (Array.to_list ps))
+    t.c3

@@ -1,0 +1,75 @@
+(** Coverage sets (Section 1 and Section 3 of the paper).
+
+    A clusterhead u's coverage set C(u) is the set of clusterheads in a
+    specific coverage area around u, split into C2(u) (2 hops away) and
+    C3(u) (3 hops away):
+
+    - the {b 3-hop} coverage set contains every clusterhead in N^3(u);
+    - the {b 2.5-hop} coverage set contains every clusterhead that has
+      cluster members in N^2(u) — cheaper to maintain, still yields a
+      strongly connected cluster graph.
+
+    The sets are computed exactly as the CH_HOP1 / CH_HOP2 message
+    exchange of Section 3 would compute them, including the subtlety shown
+    in Figure 3: when a non-clusterhead v hears CH_HOP1(u), only {e u's
+    own clusterhead} can become a 2-hop clusterhead entry of v (2.5-hop
+    mode), whereas a clusterhead building its C2 uses {e all} entries of
+    its neighbors' CH_HOP1 messages.
+
+    Alongside each covered clusterhead the structure records the
+    connectors through which it can be reached — the raw material of
+    gateway selection:
+    - a clusterhead c in C2(u) has {e direct connectors}: neighbors v of u
+      with c in CH_HOP1(v);
+    - a clusterhead c in C3(u) has {e connector pairs} (v, w): u - v - w - c,
+      one pair per first-hop v (the protocol keeps the first entry it
+      hears per clusterhead, i.e. the smallest second hop w). *)
+
+type mode = Hop25 | Hop3
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type t = {
+  owner : int;  (** the clusterhead this coverage set belongs to *)
+  mode : mode;
+  c2 : (int * int array) list;
+      (** (clusterhead, direct connectors); keys increasing, connectors
+          sorted, nonempty *)
+  c3 : (int * (int * int) array) list;
+      (** (clusterhead, connector pairs (first hop, second hop)); keys
+          increasing, disjoint from c2 keys, pairs sorted, nonempty *)
+}
+
+val ch_hop1 : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> int -> Manet_graph.Nodeset.t
+(** [ch_hop1 g cl v] is the CH_HOP1(v) message content: all clusterheads
+    adjacent to non-clusterhead [v].
+    @raise Invalid_argument if [v] is a clusterhead. *)
+
+val ch_hop2 :
+  Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> int -> (int * int) list
+(** [ch_hop2 g cl mode v] is the CH_HOP2(v) content: entries
+    [(clusterhead, via)] with [via] a non-clusterhead neighbor of [v] —
+    one entry per clusterhead (smallest via), clusterheads increasing.
+    In [Hop25] mode only [via]'s own clusterhead qualifies; in [Hop3] mode
+    any clusterhead adjacent to [via].  Clusterheads adjacent to [v]
+    itself are never included.
+    @raise Invalid_argument if [v] is a clusterhead. *)
+
+val of_head : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> int -> t
+(** The coverage set of clusterhead [u], with connector tables.  A
+    clusterhead appearing both 2 and 3 hops away is kept in C2 only.
+    @raise Invalid_argument if [u] is not a clusterhead. *)
+
+val all : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> t option array
+(** Indexed by node id; [Some] exactly at clusterheads. *)
+
+val covered : t -> Manet_graph.Nodeset.t
+(** C(u) = C2(u) union C3(u), as a set of clusterheads. *)
+
+val c2_set : t -> Manet_graph.Nodeset.t
+
+val c3_set : t -> Manet_graph.Nodeset.t
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

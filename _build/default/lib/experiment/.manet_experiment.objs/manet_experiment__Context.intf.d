@@ -1,0 +1,1 @@
+lib/experiment/context.mli: Manet_cluster Manet_graph Manet_rng Manet_topology

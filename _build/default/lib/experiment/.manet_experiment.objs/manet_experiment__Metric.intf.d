@@ -1,0 +1,1 @@
+lib/experiment/metric.mli: Context Manet_backbone Manet_coverage

@@ -1,0 +1,1 @@
+lib/experiment/render.ml: Buffer Fun List Manet_stats Printf Sweep

@@ -1,0 +1,1 @@
+lib/experiment/render.mli: Sweep

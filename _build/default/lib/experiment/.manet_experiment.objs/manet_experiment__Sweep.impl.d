@@ -1,0 +1,1 @@
+lib/experiment/sweep.ml: Array Atomic Context Domain Float List Manet_rng Manet_stats Manet_topology Metric Option

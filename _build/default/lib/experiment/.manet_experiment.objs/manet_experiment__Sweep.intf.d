@@ -1,0 +1,1 @@
+lib/experiment/sweep.mli: Manet_rng Manet_stats Manet_topology Metric

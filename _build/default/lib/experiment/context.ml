@@ -1,0 +1,14 @@
+type t = {
+  sample : Manet_topology.Generator.sample;
+  clustering : Manet_cluster.Clustering.t;
+  source : int;
+  rng : Manet_rng.Rng.t;
+}
+
+let draw rng spec =
+  let sample = Manet_topology.Generator.sample_connected rng spec in
+  let clustering = Manet_cluster.Lowest_id.cluster sample.graph in
+  let source = Manet_rng.Rng.int rng (Manet_graph.Graph.n sample.graph) in
+  { sample; clustering; source; rng = Manet_rng.Rng.split rng }
+
+let graph t = t.sample.graph

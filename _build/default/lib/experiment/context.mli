@@ -1,0 +1,22 @@
+(** One experimental unit: a connected random topology, its lowest-ID
+    clustering, and a uniformly chosen broadcast source.
+
+    Every algorithm under comparison is evaluated on the {e same} context
+    (same topology, same clustering, same source), mirroring how the
+    paper compares algorithms and sharply reducing comparison variance. *)
+
+type t = {
+  sample : Manet_topology.Generator.sample;
+  clustering : Manet_cluster.Clustering.t;
+  source : int;
+  rng : Manet_rng.Rng.t;
+      (** per-sample generator for randomized protocols (backoffs, loss);
+          split from the draw generator so metrics cannot perturb the
+          topology stream *)
+}
+
+val draw : Manet_rng.Rng.t -> Manet_topology.Spec.t -> t
+(** Draw a fresh connected topology (rejection sampling per the paper),
+    cluster it, and pick a uniform source. *)
+
+val graph : t -> Manet_graph.Graph.t

@@ -1,0 +1,586 @@
+module Rng = Manet_rng.Rng
+module Coverage = Manet_coverage.Coverage
+module Dynamic = Manet_backbone.Dynamic_backbone
+module Static = Manet_backbone.Static_backbone
+module Summary = Manet_stats.Summary
+
+type config = {
+  seed : int;
+  ns : int list;
+  min_samples : int;
+  max_samples : int;
+  rel_precision : float;
+  domains : int;
+}
+
+let default =
+  {
+    seed = 42;
+    ns = [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+    min_samples = 30;
+    max_samples = 500;
+    rel_precision = 0.05;
+    domains = 1;
+  }
+
+let quick =
+  {
+    seed = 7;
+    ns = [ 20; 60; 100 ];
+    min_samples = 5;
+    max_samples = 8;
+    rel_precision = 0.5;
+    domains = 1;
+  }
+
+let sweep config ~d metrics =
+  let rng = Rng.create ~seed:config.seed in
+  Sweep.run ~rel_precision:config.rel_precision ~min_samples:config.min_samples
+    ~max_samples:config.max_samples ~domains:config.domains ~rng ~d ~ns:config.ns metrics
+
+let fig6 ?(config = default) ~d () =
+  sweep config ~d
+    [ Metric.static_size Coverage.Hop25; Metric.static_size Coverage.Hop3; Metric.mo_cds_size ]
+
+let fig7 ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.dynamic_forwards Coverage.Hop25;
+      Metric.dynamic_forwards Coverage.Hop3;
+      Metric.mo_cds_forwards;
+    ]
+
+let fig8 ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.static_forwards Coverage.Hop25;
+      Metric.static_forwards Coverage.Hop3;
+      Metric.dynamic_forwards Coverage.Hop25;
+      Metric.dynamic_forwards Coverage.Hop3;
+    ]
+
+let ext_baselines ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.flooding_forwards;
+      Metric.wu_li_forwards;
+      Metric.dp_forwards;
+      Metric.pdp_forwards;
+      Metric.ahbp_forwards;
+      Metric.mpr_forwards;
+      Metric.forwarding_tree_forwards;
+      Metric.self_pruning_forwards;
+      Metric.counter_based_forwards;
+      Metric.counter_based_delivery;
+      Metric.passive_clustering_forwards;
+      Metric.passive_clustering_delivery;
+      Metric.static_forwards Coverage.Hop25;
+      Metric.dynamic_forwards Coverage.Hop25;
+    ]
+
+let ext_si_cds ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.static_size Coverage.Hop25;
+      Metric.mo_cds_size;
+      Metric.wu_li_size;
+      Metric.tree_cds_size;
+      Metric.greedy_cds_size;
+      Metric.cluster_count;
+    ]
+
+let ext_clustering ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.static_size Coverage.Hop25;
+      Metric.static_size_highest_degree Coverage.Hop25;
+      Metric.cluster_count;
+      Metric.cluster_count_highest_degree;
+    ]
+
+let ext_pruning ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.static_forwards Coverage.Hop25;
+      Metric.dynamic_forwards ~pruning:Dynamic.Sender_only Coverage.Hop25;
+      Metric.dynamic_forwards ~pruning:Dynamic.Coverage_piggyback Coverage.Hop25;
+      Metric.dynamic_forwards ~pruning:Dynamic.Coverage_and_relay Coverage.Hop25;
+    ]
+
+let ratio_metric name f =
+  {
+    Metric.name;
+    eval =
+      (fun ctx ->
+        let mcds =
+          float_of_int
+            (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build (Context.graph ctx)))
+        in
+        f ctx /. mcds);
+  }
+
+let ext_approx ?(config = default) () =
+  let config = { config with ns = [ 8; 10; 12; 14; 16 ] } in
+  let static_ratio mode =
+    ratio_metric
+      ("static-" ^ (match mode with Coverage.Hop25 -> "2.5hop" | Coverage.Hop3 -> "3hop") ^ "/mcds")
+      (fun ctx ->
+        float_of_int (Static.size (Static.build ~clustering:ctx.clustering (Context.graph ctx) mode)))
+  in
+  let mo_ratio =
+    ratio_metric "mo_cds/mcds" (fun ctx ->
+        float_of_int
+          (Manet_baselines.Mo_cds.size
+             (Manet_baselines.Mo_cds.build ~clustering:ctx.clustering (Context.graph ctx))))
+  in
+  let greedy_ratio =
+    ratio_metric "greedy/mcds" (fun ctx ->
+        float_of_int
+          (Manet_graph.Nodeset.cardinal (Manet_mcds.Greedy_cds.build (Context.graph ctx))))
+  in
+  let mcds_size =
+    {
+      Metric.name = "mcds";
+      eval =
+        (fun ctx ->
+          float_of_int
+            (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build (Context.graph ctx))));
+    }
+  in
+  sweep config ~d:6.
+    [ mcds_size; static_ratio Coverage.Hop25; static_ratio Coverage.Hop3; mo_ratio; greedy_ratio ]
+
+let ext_msgs ?(config = default) ~d () =
+  let cost name pick =
+    {
+      Metric.name;
+      eval =
+        (fun ctx ->
+          let c, _ = Manet_backbone.Construction_cost.measure (Context.graph ctx) Coverage.Hop25 in
+          pick c);
+    }
+  in
+  sweep config ~d
+    [
+      cost "hello" (fun c -> float_of_int c.Manet_backbone.Construction_cost.hello);
+      cost "clustering" (fun c -> float_of_int c.Manet_backbone.Construction_cost.clustering);
+      cost "ch_hop" (fun c -> float_of_int c.Manet_backbone.Construction_cost.ch_hop);
+      cost "gateway" (fun c -> float_of_int c.Manet_backbone.Construction_cost.gateway);
+      cost "total" (fun c -> float_of_int c.Manet_backbone.Construction_cost.total);
+      cost "total/n" (fun c ->
+          float_of_int c.Manet_backbone.Construction_cost.total
+          /. float_of_int c.Manet_backbone.Construction_cost.hello);
+    ]
+
+let ext_delivery ?(config = default) ~d () =
+  sweep config ~d
+    [
+      Metric.dynamic_delivery Coverage.Hop25;
+      Metric.dynamic_delivery Coverage.Hop3;
+      {
+        Metric.name = "dp";
+        eval =
+          (fun ctx ->
+            Manet_broadcast.Result.delivery_ratio
+              (Manet_baselines.Dominant_pruning.broadcast (Context.graph ctx) ~source:ctx.source));
+      };
+      {
+        Metric.name = "pdp";
+        eval =
+          (fun ctx ->
+            Manet_broadcast.Result.delivery_ratio
+              (Manet_baselines.Partial_dominant_pruning.broadcast (Context.graph ctx)
+                 ~source:ctx.source));
+      };
+      {
+        Metric.name = "mpr";
+        eval =
+          (fun ctx ->
+            Manet_broadcast.Result.delivery_ratio
+              (Manet_baselines.Mpr.broadcast (Context.graph ctx) ~source:ctx.source));
+      };
+    ]
+
+(* Lossy links: delivery of each broadcasting scheme as per-reception
+   loss grows — redundancy pays for reliability. *)
+
+type lossy_row = { loss : float; deliveries : (string * Summary.t) list }
+
+type lossy_table = { n : int; d : float; rows : lossy_row list }
+
+let ext_lossy ?(config = default) ?(losses = [ 0.; 0.05; 0.1; 0.2; 0.3; 0.4 ]) ~d () =
+  let n = List.fold_left max 20 config.ns in
+  let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+  let protocols loss =
+    [
+      Metric.lossy_delivery ~name:"flooding" ~loss (fun _ -> None);
+      Metric.lossy_delivery ~name:"static-2.5hop" ~loss (fun ctx ->
+          let bb = Static.build ~clustering:ctx.clustering (Context.graph ctx) Coverage.Hop25 in
+          Some (Static.in_backbone bb));
+      Metric.lossy_delivery ~name:"mo_cds" ~loss (fun ctx ->
+          let m = Manet_baselines.Mo_cds.build ~clustering:ctx.clustering (Context.graph ctx) in
+          Some (Manet_baselines.Mo_cds.in_cds m));
+      Metric.lossy_delivery ~name:"dynamic-2.5hop" ~loss (fun ctx ->
+          (* The dynamic forward set, frozen from a loss-free run, then
+             replayed under loss: its designations are the sparsest. *)
+          let fwd =
+            Manet_backbone.Dynamic_backbone.forward_set (Context.graph ctx) ctx.clustering
+              Coverage.Hop25 ~source:ctx.source
+          in
+          Some (fun v -> Manet_graph.Nodeset.mem v fwd));
+    ]
+  in
+  let row loss =
+    let rng = Rng.create ~seed:(config.seed + int_of_float (loss *. 1000.)) in
+    let point =
+      Sweep.run_point ~rel_precision:config.rel_precision ~min_samples:config.min_samples
+        ~max_samples:config.max_samples ~rng ~spec (protocols loss)
+    in
+    { loss; deliveries = List.map (fun (name, (c : Sweep.cell)) -> (name, c.summary)) point.cells }
+  in
+  { n; d; rows = List.map row losses }
+
+let render_lossy (t : lossy_table) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "lossy links: delivery ratio vs per-reception loss (n=%d, d=%g)\n" t.n t.d);
+  (match t.rows with
+  | [] -> ()
+  | first :: _ ->
+    Buffer.add_string buf (Printf.sprintf "%8s" "loss");
+    List.iter (fun (name, _) -> Buffer.add_string buf (Printf.sprintf " %16s" name)) first.deliveries;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (Printf.sprintf "%8.2f" r.loss);
+        List.iter
+          (fun (_, s) -> Buffer.add_string buf (Printf.sprintf " %16.3f" (Summary.mean s)))
+          r.deliveries;
+        Buffer.add_char buf '\n')
+      t.rows);
+  Buffer.contents buf
+
+(* Border effects: the same uniform placements under the confined and
+   the toroidal metric. *)
+
+type border_row = {
+  n : int;
+  confined_degree : Summary.t;
+  toroidal_degree : Summary.t;
+  confined_backbone : Summary.t;
+  toroidal_backbone : Summary.t;
+}
+
+type border_table = { d : float; rows : border_row list }
+
+let ext_border ?(config = default) ~d () =
+  let samples = max 20 config.min_samples in
+  let row n =
+    let rng = Rng.create ~seed:(config.seed + n) in
+    let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+    let radius = Manet_topology.Spec.radius spec in
+    let cd = Summary.create () and td = Summary.create () in
+    let cb = Summary.create () and tb = Summary.create () in
+    let collected = ref 0 in
+    while !collected < samples do
+      let points = Manet_topology.Generator.place_uniform rng spec in
+      let confined = Manet_graph.Unit_disk.build ~radius points in
+      let toroidal =
+        Manet_graph.Unit_disk.build_toroidal ~radius ~width:spec.width ~height:spec.height points
+      in
+      (* Keep placements connected under both metrics so backbone sizes
+         are comparable (the torus is connected whenever the confined
+         graph is, since it only adds edges). *)
+      if Manet_graph.Connectivity.is_connected confined then begin
+        incr collected;
+        Summary.add cd (Manet_graph.Graph.avg_degree confined);
+        Summary.add td (Manet_graph.Graph.avg_degree toroidal);
+        Summary.add cb (float_of_int (Static.size (Static.build confined Coverage.Hop25)));
+        Summary.add tb (float_of_int (Static.size (Static.build toroidal Coverage.Hop25)))
+      end
+    done;
+    { n; confined_degree = cd; toroidal_degree = td; confined_backbone = cb; toroidal_backbone = tb }
+  in
+  { d; rows = List.map row [ 20; 60; 100 ] }
+
+let render_border (t : border_table) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "border effects: identical placements under the confined vs toroidal metric (target d = %g)\n"
+       t.d);
+  Buffer.add_string buf
+    (Printf.sprintf "%6s %18s %18s %20s %20s\n" "n" "confined degree" "toroidal degree"
+       "confined backbone" "toroidal backbone");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%6d %18.2f %18.2f %20.2f %20.2f\n" r.n (Summary.mean r.confined_degree)
+           (Summary.mean r.toroidal_degree)
+           (Summary.mean r.confined_backbone)
+           (Summary.mean r.toroidal_backbone)))
+    t.rows;
+  Buffer.contents buf
+
+(* Reliable broadcast: ack/retransmit over the forwarding tree vs
+   unreliable and oracle-repeated flooding. *)
+
+type reliable_row = {
+  loss : float;
+  tree_data : Summary.t;
+  tree_acks : Summary.t;
+  tree_complete : Summary.t;
+  flood_once_delivery : Summary.t;
+  flood_oracle_total : Summary.t;
+}
+
+type reliable_table = { n : int; d : float; rows : reliable_row list }
+
+let ext_reliable ?(config = default) ?(losses = [ 0.; 0.1; 0.2; 0.3 ]) ~d () =
+  let n = List.fold_left max 20 config.ns in
+  let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+  let samples = max 20 config.min_samples in
+  let row loss =
+    let rng = Rng.create ~seed:(config.seed + 7 + int_of_float (loss *. 1000.)) in
+    let tree_data = Summary.create () in
+    let tree_acks = Summary.create () in
+    let tree_complete = Summary.create () in
+    let flood_once = Summary.create () in
+    let flood_oracle = Summary.create () in
+    for _ = 1 to samples do
+      let ctx = Context.draw rng spec in
+      let g = Context.graph ctx in
+      let nn = Manet_graph.Graph.n g in
+      (* Tree: the Pagani-Rossi forwarding tree rooted at the source's
+         clusterhead; every non-member answers to its clusterhead. *)
+      let tree =
+        Manet_baselines.Forwarding_tree.build g ctx.clustering Coverage.Hop25 ~source:ctx.source
+      in
+      let parent =
+        Array.init nn (fun v ->
+            if v = tree.root then -1
+            else if Manet_graph.Nodeset.mem v tree.members then tree.parent.(v)
+            else Manet_cluster.Clustering.head_of ctx.clustering v)
+      in
+      let o = Manet_broadcast.Reliable.run g ~rng:ctx.rng ~loss ~root:tree.root ~parent in
+      Summary.add tree_data (float_of_int o.data_transmissions);
+      Summary.add tree_acks (float_of_int o.ack_transmissions);
+      Summary.add tree_complete (if o.complete then 1. else 0.);
+      (* One unreliable flood. *)
+      Summary.add flood_once
+        (Manet_broadcast.Lossy.flooding_delivery g ~rng:ctx.rng ~loss ~source:ctx.source);
+      (* Oracle: repeat whole floods until everyone has the packet. *)
+      let reached = Array.make nn false in
+      let total = ref 0 in
+      let attempts = ref 0 in
+      let all () = Array.for_all Fun.id reached in
+      while (not (all ())) && !attempts < 50 do
+        incr attempts;
+        let r =
+          Manet_broadcast.Lossy.run g ~rng:ctx.rng ~loss ~source:ctx.source ~initial:()
+            ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ())
+        in
+        total := !total + Manet_broadcast.Result.forward_count r;
+        Array.iteri (fun v d -> if d then reached.(v) <- true) r.delivered
+      done;
+      Summary.add flood_oracle (float_of_int !total)
+    done;
+    { loss; tree_data; tree_acks; tree_complete; flood_once_delivery = flood_once;
+      flood_oracle_total = flood_oracle }
+  in
+  { n; d; rows = List.map row losses }
+
+let render_reliable (t : reliable_table) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "reliable broadcast over the forwarding tree (n=%d, d=%g): transmissions to reach full \
+        delivery\n" t.n t.d);
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %12s %12s %14s %18s %20s\n" "loss" "tree data" "tree acks"
+       "tree complete" "1-flood delivery" "oracle flood total");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8.2f %12.1f %12.1f %14.2f %18.3f %20.1f\n" r.loss
+           (Summary.mean r.tree_data) (Summary.mean r.tree_acks)
+           (Summary.mean r.tree_complete)
+           (Summary.mean r.flood_once_delivery)
+           (Summary.mean r.flood_oracle_total)))
+    t.rows;
+  Buffer.contents buf
+
+(* Maintenance: incremental clustering upkeep per time step vs the
+   dynamic backbone's per-broadcast selection work. *)
+
+type maintenance_row = {
+  speed : float;
+  incremental_msgs : Summary.t;
+  head_churn : Summary.t;
+  backbone_msgs : Summary.t;
+  dynamic_overhead : Summary.t;
+}
+
+type maintenance_table = {
+  n : int;
+  d : float;
+  dt : float;
+  steps : int;
+  rows : maintenance_row list;
+}
+
+let ext_maintenance ?(config = default) ?(speeds = [ 1.; 2.; 5.; 10. ]) ~d () =
+  let n = List.fold_left max 20 config.ns in
+  let dt = 1. in
+  let steps = 30 in
+  let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+  let rng = Rng.create ~seed:config.seed in
+  let samples = config.min_samples in
+  let row speed =
+    let msgs = Summary.create () in
+    let churn = Summary.create () in
+    let overhead = Summary.create () in
+    let backbone_msgs = Summary.create () in
+    for _ = 1 to samples do
+      let sample = Manet_topology.Generator.sample_connected rng spec in
+      let bm = Manet_backbone.Backbone_maintenance.create sample.graph Coverage.Hop25 in
+      let mob =
+        Manet_topology.Mobility.create ~model:Manet_topology.Mobility.Random_waypoint
+          ~speed_min:speed ~speed_max:speed ~rng:(Rng.split rng) ~spec sample.points
+      in
+      for _ = 1 to steps do
+        Manet_topology.Mobility.step mob ~dt;
+        let g = Manet_topology.Mobility.graph mob ~radius:sample.radius in
+        let ev = Manet_backbone.Backbone_maintenance.update bm g in
+        Summary.add msgs (float_of_int ev.cluster_events.messages);
+        Summary.add churn
+          (float_of_int (Manet_cluster.Maintenance.head_churn ev.cluster_events));
+        Summary.add backbone_msgs (float_of_int ev.total_messages);
+        (* On the same snapshot: gateways an on-demand broadcast selects
+           (only meaningful on a connected snapshot). *)
+        if Manet_graph.Connectivity.is_connected g then begin
+          let cl = (Manet_backbone.Backbone_maintenance.backbone bm).Static.clustering in
+          let r =
+            Dynamic.broadcast g cl Coverage.Hop25 ~source:(Rng.int rng (Manet_graph.Graph.n g))
+          in
+          let heads = Manet_cluster.Clustering.head_set cl in
+          let gateways =
+            Manet_graph.Nodeset.cardinal
+              (Manet_graph.Nodeset.diff r.Manet_broadcast.Result.forwarders heads)
+          in
+          Summary.add overhead (float_of_int gateways)
+        end
+      done
+    done;
+    { speed; incremental_msgs = msgs; head_churn = churn; backbone_msgs; dynamic_overhead = overhead }
+  in
+  { n; d; dt; steps; rows = List.map row speeds }
+
+let render_maintenance (t : maintenance_table) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "maintenance: n=%d d=%g, random waypoint, %d steps of dt=%g per sample\n\
+        (incremental role-change messages per step vs full re-clustering = %d msgs;\n\
+        \ dynamic-overhead = gateways selected per on-demand broadcast)\n"
+       t.n t.d t.steps t.dt t.n);
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %18s %14s %20s %18s\n" "speed" "cluster msgs/step" "head churn"
+       "backbone msgs/step" "dynamic overhead");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8g %18.2f %14.2f %20.2f %18.2f\n" r.speed
+           (Summary.mean r.incremental_msgs)
+           (Summary.mean r.head_churn)
+           (Summary.mean r.backbone_msgs)
+           (Summary.mean r.dynamic_overhead)))
+    t.rows;
+  Buffer.contents buf
+
+(* Mobility: the static backbone is built once, then nodes move; we time
+   how long the frozen backbone stays a CDS of the evolving unit-disk
+   graph, and probe broadcast delivery over the stale backbone against an
+   on-demand dynamic broadcast on the current topology. *)
+
+type mobility_row = {
+  speed : float;
+  static_valid_time : Summary.t;
+  stale_delivery : Summary.t;
+  dynamic_delivery : Summary.t;
+}
+
+type mobility_table = { n : int; d : float; probe_time : float; rows : mobility_row list }
+
+let ext_mobility ?(config = default) ?(speeds = [ 1.; 2.; 5.; 10. ]) ~d () =
+  let n = List.fold_left max 20 config.ns in
+  let probe_time = 5. in
+  let max_time = 100. in
+  let dt = 0.5 in
+  let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+  let rng = Rng.create ~seed:config.seed in
+  let samples = config.min_samples in
+  let row speed =
+    let valid = Summary.create () in
+    let stale = Summary.create () in
+    let dynamic = Summary.create () in
+    for _ = 1 to samples do
+      let sample = Manet_topology.Generator.sample_connected rng spec in
+      let backbone = Static.build sample.graph Coverage.Hop25 in
+      let mob =
+        Manet_topology.Mobility.create ~model:Manet_topology.Mobility.Random_waypoint
+          ~speed_min:speed ~speed_max:speed ~rng:(Rng.split rng) ~spec sample.points
+      in
+      (* Walk the trajectory to max_time, recording the first moment the
+         frozen backbone stops being a CDS and the snapshot at the probe
+         time (motion continues past invalidation — the probe must see
+         the moved topology either way). *)
+      let t = ref 0. in
+      let invalid_at = ref None in
+      let probe_graph = ref sample.graph in
+      while !t < max_time && (!invalid_at = None || !t <= probe_time) do
+        Manet_topology.Mobility.step mob ~dt;
+        t := !t +. dt;
+        let g = Manet_topology.Mobility.graph mob ~radius:sample.radius in
+        if Float.abs (!t -. probe_time) < (dt /. 2.) then probe_graph := g;
+        if !invalid_at = None && not (Manet_graph.Dominating.is_cds g backbone.Static.members)
+        then invalid_at := Some !t
+      done;
+      Summary.add valid (match !invalid_at with Some t -> t | None -> max_time);
+      (* Probe deliveries on the topology reached at probe_time. *)
+      let g = !probe_graph in
+      let source = Rng.int rng (Manet_graph.Graph.n g) in
+      let stale_r =
+        Manet_broadcast.Si.run g ~in_cds:(fun v -> Static.in_backbone backbone v) ~source
+      in
+      Summary.add stale (Manet_broadcast.Result.delivery_ratio stale_r);
+      let dyn_r =
+        let cl = Manet_cluster.Lowest_id.cluster g in
+        Dynamic.broadcast g cl Coverage.Hop25 ~source
+      in
+      Summary.add dynamic (Manet_broadcast.Result.delivery_ratio dyn_r)
+    done;
+    { speed; static_valid_time = valid; stale_delivery = stale; dynamic_delivery = dynamic }
+  in
+  { n; d; probe_time; rows = List.map row speeds }
+
+let render_mobility t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "mobility: n=%d d=%g, random waypoint; probe at t=%g (delivery over stale static backbone \
+        vs on-demand dynamic)\n"
+       t.n t.d t.probe_time);
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %22s %18s %18s\n" "speed" "static-valid-time" "stale-delivery"
+       "dynamic-delivery");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8g %22s %18s %18s\n" r.speed
+           (Printf.sprintf "%.1f (±%.1f)" (Summary.mean r.static_valid_time)
+              (Summary.ci_half_width r.static_valid_time ~z:Manet_stats.Confidence.z99))
+           (Printf.sprintf "%.3f" (Summary.mean r.stale_delivery))
+           (Printf.sprintf "%.3f" (Summary.mean r.dynamic_delivery))))
+    t.rows;
+  Buffer.contents buf

@@ -1,0 +1,181 @@
+(** The paper's figures and this repository's extension experiments, as
+    runnable definitions.  Each function reproduces one figure's series
+    (see DESIGN.md's experiment index and EXPERIMENTS.md for
+    paper-vs-measured records).
+
+    All experiments share the evaluation setup of Section 4: a 100 x 100
+    space, uniform placement, rejection of disconnected topologies,
+    d in {6, 18}, n = 20..100, and the repeat-until-99%-CI-within-±5%
+    stopping rule (bounded by [max_samples]). *)
+
+type config = {
+  seed : int;
+  ns : int list;
+  min_samples : int;
+  max_samples : int;
+  rel_precision : float;
+  domains : int;  (** parallel domains for sweep points; results identical *)
+}
+
+val default : config
+(** seed 42, n = 20, 30, ..., 100, 30..500 samples, ±5%, 1 domain. *)
+
+val quick : config
+(** A smoke-test configuration: n = 20, 60, 100 and few samples; used by
+    the test suite to exercise the full pipeline cheaply. *)
+
+val fig6 : ?config:config -> d:float -> unit -> Sweep.table
+(** Figure 6: average CDS size — static backbone (2.5-hop, 3-hop) vs
+    MO_CDS.  Expected shape: the three curves nearly coincide, static
+    slightly below MO_CDS, 2.5-hop within 2% of 3-hop. *)
+
+val fig7 : ?config:config -> d:float -> unit -> Sweep.table
+(** Figure 7: average forward-node-set size per broadcast — dynamic
+    backbone (2.5-hop, 3-hop) vs MO_CDS.  Expected: dynamic well below
+    MO_CDS. *)
+
+val fig8 : ?config:config -> d:float -> unit -> Sweep.table
+(** Figure 8: forward-node-set size — static vs dynamic backbone (both
+    modes).  Expected: dynamic below static, both modes nearly equal. *)
+
+val ext_baselines : ?config:config -> d:float -> unit -> Sweep.table
+(** Extension: forward counts of flooding, Wu-Li, DP, PDP, MPR, AHBP,
+    backoff self-pruning and passive clustering alongside the paper's
+    static and dynamic backbones (plus passive clustering's delivery
+    ratio, which the paper singles out as poor). *)
+
+val ext_si_cds : ?config:config -> d:float -> unit -> Sweep.table
+(** Extension: CDS sizes across all the source-independent algorithms in
+    the repository — the paper's static backbone, MO_CDS, Wu-Li,
+    spanning-tree CDS and greedy CDS — with the cluster count as the
+    common floor. *)
+
+val ext_clustering : ?config:config -> d:float -> unit -> Sweep.table
+(** Ablation: backbone size and cluster counts under lowest-ID vs
+    highest-connectivity clustering. *)
+
+val ext_pruning : ?config:config -> d:float -> unit -> Sweep.table
+(** Ablation: dynamic backbone under the three pruning levels, against
+    the static backbone as the no-history reference (2.5-hop mode). *)
+
+val ext_approx : ?config:config -> unit -> Sweep.table
+(** Approximation ratios |CDS| / |MCDS| on small networks (n = 8..16,
+    d = 6) for the static backbone (both modes), MO_CDS and greedy CDS,
+    with the exact MCDS from branch and bound. *)
+
+val ext_msgs : ?config:config -> d:float -> unit -> Sweep.table
+(** Message complexity: transmissions of each distributed construction
+    stage, and the total divided by n (flat when the total is O(n)). *)
+
+val ext_delivery : ?config:config -> d:float -> unit -> Sweep.table
+(** Diagnostic: delivery ratios of the dynamic backbone and the SD
+    baselines (expected at or near 1.0). *)
+
+(** {1 Lossy links (custom shape)} *)
+
+type lossy_row = {
+  loss : float;
+  deliveries : (string * Manet_stats.Summary.t) list;
+      (** per-protocol delivery ratios at this loss rate *)
+}
+
+type lossy_table = { n : int; d : float; rows : lossy_row list }
+
+val ext_lossy : ?config:config -> ?losses:float list -> d:float -> unit -> lossy_table
+(** Failure injection: delivery ratio under per-reception loss for blind
+    flooding, the static backbone, MO_CDS and the dynamic backbone —
+    the redundancy/efficiency trade-off behind the broadcast storm
+    problem.  [losses] defaults to 0, 0.05, 0.1, 0.2, 0.3, 0.4. *)
+
+val render_lossy : lossy_table -> string
+
+(** {1 Border effects (custom shape)} *)
+
+type border_row = {
+  n : int;
+  confined_degree : Manet_stats.Summary.t;  (** realized degree, confined space *)
+  toroidal_degree : Manet_stats.Summary.t;  (** realized degree, wrap-around metric *)
+  confined_backbone : Manet_stats.Summary.t;
+  toroidal_backbone : Manet_stats.Summary.t;
+}
+
+type border_table = { d : float; rows : border_row list }
+
+val ext_border : ?config:config -> d:float -> unit -> border_table
+(** Methodological diagnostic: how much of the gap between the target
+    degree d and the realized degree is the confined working space's
+    border effect, and how it propagates into backbone size.  Uses the
+    same placements under both metrics. *)
+
+val render_border : border_table -> string
+
+(** {1 Reliable broadcast (custom shape)} *)
+
+type reliable_row = {
+  loss : float;
+  tree_data : Manet_stats.Summary.t;  (** data transmissions of the ack/retransmit tree *)
+  tree_acks : Manet_stats.Summary.t;
+  tree_complete : Manet_stats.Summary.t;  (** fraction of runs reaching full delivery + acks *)
+  flood_once_delivery : Manet_stats.Summary.t;  (** one unreliable flood, for contrast *)
+  flood_oracle_total : Manet_stats.Summary.t;
+      (** transmissions of an oracle that repeats whole floods until every
+          node has the packet — the cost of reliability without acks *)
+}
+
+type reliable_table = { n : int; d : float; rows : reliable_row list }
+
+val ext_reliable : ?config:config -> ?losses:float list -> d:float -> unit -> reliable_table
+(** The Pagani-Rossi reliability machinery measured: what full delivery
+    costs over the cluster-based forwarding tree (data + acks +
+    retransmissions) vs unreliable flooding, as links get lossier. *)
+
+val render_reliable : reliable_table -> string
+
+(** {1 Maintenance cost (custom shape)} *)
+
+type maintenance_row = {
+  speed : float;
+  incremental_msgs : Manet_stats.Summary.t;  (** cluster role changes per time step *)
+  head_churn : Manet_stats.Summary.t;  (** clusterhead changes per time step *)
+  backbone_msgs : Manet_stats.Summary.t;
+      (** full static-backbone upkeep per step: role changes + CH_HOP
+          re-announcements + GATEWAY refreshes
+          ({!Manet_backbone.Backbone_maintenance}) *)
+  dynamic_overhead : Manet_stats.Summary.t;
+      (** per-broadcast gateway selections of the on-demand backbone on
+          the same trajectories: what the paper's alternative costs *)
+}
+
+type maintenance_table = { n : int; d : float; dt : float; steps : int; rows : maintenance_row list }
+
+val ext_maintenance :
+  ?config:config -> ?speeds:float list -> d:float -> unit -> maintenance_table
+(** The paper's Section 1 claim quantified: control messages per time
+    step to keep the clustering (and hence the static backbone) alive
+    under random-waypoint motion, vs the dynamic backbone's per-broadcast
+    cost. *)
+
+val render_maintenance : maintenance_table -> string
+
+(** {1 Mobility (custom shape)} *)
+
+type mobility_row = {
+  speed : float;
+  static_valid_time : Manet_stats.Summary.t;
+      (** time until the static backbone built at t=0 stops being a CDS *)
+  stale_delivery : Manet_stats.Summary.t;
+      (** delivery ratio over the stale static backbone after [probe_time] *)
+  dynamic_delivery : Manet_stats.Summary.t;
+      (** delivery ratio of an on-demand dynamic broadcast on the moved
+          topology (re-clustered, as the protocol would) *)
+}
+
+type mobility_table = { n : int; d : float; probe_time : float; rows : mobility_row list }
+
+val ext_mobility : ?config:config -> ?speeds:float list -> d:float -> unit -> mobility_table
+(** Extension: the paper's motivating argument — maintaining a static
+    backbone under motion vs building the dynamic backbone on demand.
+    Random-waypoint motion at each speed; n is the largest of
+    [config.ns]. *)
+
+val render_mobility : mobility_table -> string

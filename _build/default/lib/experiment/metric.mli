@@ -1,0 +1,90 @@
+(** The measured quantities, one per algorithm/series in the paper's
+    figures and the extension experiments.
+
+    A metric maps a {!Context.t} to a number; {!Sweep} averages it over
+    contexts under the paper's confidence-interval stopping rule. *)
+
+type t = { name : string; eval : Context.t -> float }
+
+(** {1 CDS size (Figure 6)} *)
+
+val static_size : Manet_coverage.Coverage.mode -> t
+(** |static backbone| = clusterheads + selected gateways. *)
+
+val mo_cds_size : t
+
+val wu_li_size : t
+
+val greedy_cds_size : t
+
+val cluster_count : t
+(** Number of clusters (clusterheads) — a component of every CDS above. *)
+
+val tree_cds_size : t
+(** Spanning-tree CDS of Alzoubi et al. (HICSS-35). *)
+
+(** {1 Forward-node count for one broadcast (Figures 7 and 8)} *)
+
+val static_forwards : Manet_coverage.Coverage.mode -> t
+
+val dynamic_forwards :
+  ?pruning:Manet_backbone.Dynamic_backbone.pruning -> Manet_coverage.Coverage.mode -> t
+
+val mo_cds_forwards : t
+
+val flooding_forwards : t
+
+val wu_li_forwards : t
+
+val dp_forwards : t
+
+val pdp_forwards : t
+
+val mpr_forwards : t
+
+val ahbp_forwards : t
+
+val forwarding_tree_forwards : t
+(** Pagani-Rossi cluster-based forwarding tree, rooted at the source's
+    clusterhead. *)
+
+val self_pruning_forwards : t
+(** Backoff self-pruning; backoffs drawn from the context's rng. *)
+
+val counter_based_forwards : t
+
+val counter_based_delivery : t
+(** The counter heuristic does not guarantee delivery; this measures the
+    shortfall. *)
+
+val passive_clustering_forwards : t
+
+val passive_clustering_delivery : t
+(** Delivery ratio of passive clustering — the paper notes it "suffers
+    poor delivery rate"; this metric quantifies that. *)
+
+val static_size_highest_degree : Manet_coverage.Coverage.mode -> t
+(** Static backbone built over highest-connectivity clustering instead of
+    lowest-ID (the ext-clustering ablation). *)
+
+val cluster_count_highest_degree : t
+
+val lossy_delivery :
+  name:string ->
+  loss:float ->
+  (Context.t -> (int -> bool) option) ->
+  t
+(** Delivery ratio under per-reception loss probability [loss] of either
+    an SI broadcast over the set returned by the callback, or blind
+    flooding when it returns [None]. *)
+
+(** {1 Diagnostics} *)
+
+val realized_degree : t
+(** Realized average degree of the generated topology (to confirm the
+    radius formula hits the paper's d targets). *)
+
+val dynamic_delivery : Manet_coverage.Coverage.mode -> t
+(** Delivery ratio of the dynamic-backbone broadcast (expected 1.0;
+    reported to make any protocol corner case visible rather than
+    silent). *)

@@ -1,0 +1,49 @@
+module Summary = Manet_stats.Summary
+module Confidence = Manet_stats.Confidence
+
+let column_width = 18
+
+let to_text ?title (t : Sweep.table) =
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "%s (d = %g)\n" s t.d)
+  | None -> Buffer.add_string buf (Printf.sprintf "d = %g\n" t.d));
+  Buffer.add_string buf (Printf.sprintf "%6s %8s" "n" "samples");
+  List.iter (fun m -> Buffer.add_string buf (Printf.sprintf " %*s" column_width m)) t.metrics;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (p : Sweep.point) ->
+      Buffer.add_string buf (Printf.sprintf "%6d %8d" p.n p.samples);
+      List.iter
+        (fun (_, (c : Sweep.cell)) ->
+          let mean = Summary.mean c.summary in
+          let hw = Summary.ci_half_width c.summary ~z:Confidence.z99 in
+          let mark = if c.converged then "" else "*" in
+          Buffer.add_string buf
+            (Printf.sprintf " %*s" column_width (Printf.sprintf "%.2f (±%.2f)%s" mean hw mark)))
+        p.cells;
+      Buffer.add_char buf '\n')
+    t.points;
+  Buffer.contents buf
+
+let to_csv (t : Sweep.table) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "n,samples";
+  List.iter (fun m -> Buffer.add_string buf (Printf.sprintf ",%s_mean,%s_ci" m m)) t.metrics;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (p : Sweep.point) ->
+      Buffer.add_string buf (Printf.sprintf "%d,%d" p.n p.samples);
+      List.iter
+        (fun (_, (c : Sweep.cell)) ->
+          Buffer.add_string buf
+            (Printf.sprintf ",%.4f,%.4f" (Summary.mean c.summary)
+               (Summary.ci_half_width c.summary ~z:Confidence.z99)))
+        p.cells;
+      Buffer.add_char buf '\n')
+    t.points;
+  Buffer.contents buf
+
+let write_csv ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))

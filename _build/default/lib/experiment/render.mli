@@ -1,0 +1,11 @@
+(** Table rendering for sweep results: aligned text for the terminal
+    (the paper-shaped series) and CSV for plotting. *)
+
+val to_text : ?title:string -> Sweep.table -> string
+(** One row per n, one column per metric, mean with the 99% CI half-width
+    in parentheses; rows that hit the sample cap are marked with [*]. *)
+
+val to_csv : Sweep.table -> string
+(** Columns: n, samples, then mean and ci for each metric. *)
+
+val write_csv : path:string -> Sweep.table -> unit

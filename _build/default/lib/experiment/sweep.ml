@@ -1,0 +1,65 @@
+module Summary = Manet_stats.Summary
+module Confidence = Manet_stats.Confidence
+
+type cell = { summary : Summary.t; converged : bool }
+
+type point = { n : int; d : float; samples : int; cells : (string * cell) list }
+
+type table = { d : float; metrics : string list; points : point list }
+
+let run_point ?(z = Confidence.z99) ?(rel_precision = 0.05) ?(min_samples = 30)
+    ?(max_samples = 500) ~rng ~spec metrics =
+  if min_samples < 2 || max_samples < min_samples then invalid_arg "Sweep.run_point: bad bounds";
+  let summaries = List.map (fun (m : Metric.t) -> (m, Summary.create ())) metrics in
+  let precise s =
+    let hw = Summary.ci_half_width s ~z in
+    let mean = Float.abs (Summary.mean s) in
+    if mean = 0. then hw = 0. else hw <= rel_precision *. mean
+  in
+  let samples = ref 0 in
+  let all_precise () = List.for_all (fun (_, s) -> precise s) summaries in
+  while !samples < max_samples && not (!samples >= min_samples && all_precise ()) do
+    let ctx = Context.draw rng spec in
+    List.iter (fun ((m : Metric.t), s) -> Summary.add s (m.eval ctx)) summaries;
+    incr samples
+  done;
+  {
+    n = spec.Manet_topology.Spec.n;
+    d = spec.Manet_topology.Spec.avg_degree;
+    samples = !samples;
+    cells = List.map (fun ((m : Metric.t), s) -> (m.name, { summary = s; converged = precise s })) summaries;
+  }
+
+let run ?z ?rel_precision ?min_samples ?max_samples ?(domains = 1) ?(progress = fun _ -> ())
+    ~rng ~d ~ns metrics =
+  (* Generators are split sequentially up front, one per point, so the
+     parallel schedule cannot perturb the random streams. *)
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun n -> (Manet_topology.Spec.make ~n ~avg_degree:d (), Manet_rng.Rng.split rng))
+         ns)
+  in
+  let solve (spec, rng) =
+    run_point ?z ?rel_precision ?min_samples ?max_samples ~rng ~spec metrics
+  in
+  let points =
+    if domains <= 1 then Array.map solve tasks
+    else begin
+      let results = Array.make (Array.length tasks) None in
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length tasks then begin
+          results.(i) <- Some (solve tasks.(i));
+          worker ()
+        end
+      in
+      let helpers = List.init (min domains (Array.length tasks) - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join helpers;
+      Array.map (fun p -> Option.get p) results
+    end
+  in
+  Array.iter progress points;
+  { d; metrics = List.map (fun (m : Metric.t) -> m.name) metrics; points = Array.to_list points }

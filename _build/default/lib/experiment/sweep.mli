@@ -1,0 +1,51 @@
+(** Parameter sweeps under the paper's stopping rule.
+
+    A sweep evaluates a list of metrics at each network size n for a fixed
+    average degree d, drawing fresh random connected topologies until the
+    99% confidence interval of {e every} metric is within the requested
+    fraction of its mean (Section 4's stopping rule), bounded by a sample
+    floor and cap. *)
+
+type cell = { summary : Manet_stats.Summary.t; converged : bool }
+
+type point = {
+  n : int;
+  d : float;
+  samples : int;
+  cells : (string * cell) list;  (** one per metric, in metric order *)
+}
+
+type table = { d : float; metrics : string list; points : point list }
+
+val run_point :
+  ?z:float ->
+  ?rel_precision:float ->
+  ?min_samples:int ->
+  ?max_samples:int ->
+  rng:Manet_rng.Rng.t ->
+  spec:Manet_topology.Spec.t ->
+  Metric.t list ->
+  point
+(** Defaults: z = 99% quantile, rel_precision = 0.05, min_samples = 30,
+    max_samples = 500.  The cap trades exactness of the stopping rule
+    for bounded bench runtime; cells report [converged] individually. *)
+
+val run :
+  ?z:float ->
+  ?rel_precision:float ->
+  ?min_samples:int ->
+  ?max_samples:int ->
+  ?domains:int ->
+  ?progress:(point -> unit) ->
+  rng:Manet_rng.Rng.t ->
+  d:float ->
+  ns:int list ->
+  Metric.t list ->
+  table
+(** One point per n (paper: n = 20..100), all at average degree [d].
+
+    [domains] (default 1) evaluates points in parallel on that many
+    OCaml 5 domains.  Each point draws from its own pre-split generator,
+    so results are bit-identical for every domain count — only wall-clock
+    time changes.  [progress] is invoked per finished point, in [ns]
+    order, from the calling domain. *)

@@ -1,0 +1,1 @@
+lib/geom/grid.ml: Array Hashtbl List Option Point

@@ -1,0 +1,1 @@
+lib/geom/grid.mli: Point

@@ -1,0 +1,52 @@
+type t = {
+  cell_size : float;
+  cells : (int * int, int list ref) Hashtbl.t;
+  points : Point.t array;
+}
+
+let key t (p : Point.t) =
+  (int_of_float (floor (p.x /. t.cell_size)), int_of_float (floor (p.y /. t.cell_size)))
+
+let make ~cell_size points =
+  if cell_size <= 0. then invalid_arg "Grid.make: cell_size must be positive";
+  let t = { cell_size; cells = Hashtbl.create (Array.length points); points } in
+  Array.iteri
+    (fun i p ->
+      let k = key t p in
+      match Hashtbl.find_opt t.cells k with
+      | Some cell -> cell := i :: !cell
+      | None -> Hashtbl.add t.cells k (ref [ i ]))
+    points;
+  t
+
+let cell_size t = t.cell_size
+
+let within t ~center ~radius =
+  let cx, cy = key t center in
+  let reach = 1 + int_of_float (floor (radius /. t.cell_size)) in
+  let r2 = radius *. radius in
+  let acc = ref [] in
+  for dx = -reach to reach do
+    for dy = -reach to reach do
+      match Hashtbl.find_opt t.cells (cx + dx, cy + dy) with
+      | None -> ()
+      | Some cell ->
+        List.iter
+          (fun i -> if Point.dist_sq center t.points.(i) < r2 then acc := i :: !acc)
+          !cell
+    done
+  done;
+  List.sort compare !acc
+
+let nearest t ~center =
+  (* Plain scan: this helper is for setup code (picking a source near a
+     location), never on a hot path, so clarity wins over cell pruning. *)
+  let best = ref None in
+  Array.iteri
+    (fun i p ->
+      let d = Point.dist_sq center p in
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | Some _ | None -> best := Some (i, d))
+    t.points;
+  Option.map fst !best

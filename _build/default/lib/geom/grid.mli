@@ -1,0 +1,29 @@
+(** Spatial hash grid for range queries over a fixed set of points.
+
+    Building the unit-disk graph naively costs O(n^2) distance tests; the
+    grid buckets points into square cells of side [cell_size] so that a
+    radius-r query with [cell_size >= r] only inspects the 3 x 3 block of
+    cells around the query point.  For the paper's workloads (uniform
+    placement, r chosen from the target average degree) this makes graph
+    construction effectively linear. *)
+
+type t
+
+val make : cell_size:float -> Point.t array -> t
+(** [make ~cell_size points] indexes [points] (indices into the array are
+    the node ids).  @raise Invalid_argument if [cell_size <= 0.]. *)
+
+val cell_size : t -> float
+
+val within : t -> center:Point.t -> radius:float -> int list
+(** [within t ~center ~radius] is the indices of all points at Euclidean
+    distance [< radius] from [center] (strict, matching the paper's
+    "distance less than r" neighbor rule), in increasing order.
+
+    Exact for any [radius <= cell_size t]; for larger radii the search
+    widens to the necessary block of cells, so it is exact for all radii,
+    merely slower. *)
+
+val nearest : t -> center:Point.t -> int option
+(** Index of a closest point to [center] (ties broken by lowest index), or
+    [None] if the grid is empty. *)

@@ -1,0 +1,40 @@
+type t = { x : float; y : float }
+
+let make ~x ~y = { x; y }
+
+let origin = { x = 0.; y = 0. }
+
+let dist_sq a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist_sq a b)
+
+let dist_toroidal ~width ~height a b =
+  let wrap d extent =
+    let d = Float.abs d in
+    Float.min d (extent -. d)
+  in
+  let dx = wrap (a.x -. b.x) width in
+  let dy = wrap (a.y -. b.y) height in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let norm p = sqrt ((p.x *. p.x) +. (p.y *. p.y))
+
+let lerp a b t = { x = a.x +. (t *. (b.x -. a.x)); y = a.y +. (t *. (b.y -. a.y)) }
+
+let in_box p ~width ~height = p.x >= 0. && p.x <= width && p.y >= 0. && p.y <= height
+
+let clamp p lo hi = if p < lo then lo else if p > hi then hi else p
+
+let clamp_box p ~width ~height = { x = clamp p.x 0. width; y = clamp p.y 0. height }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let pp fmt p = Format.fprintf fmt "(%.3f, %.3f)" p.x p.y

@@ -1,0 +1,47 @@
+(** Points in the 2-D simulation plane.
+
+    MANET hosts live in a confined rectangular working space (the paper
+    uses 100 x 100); a point is a host's position. *)
+
+type t = { x : float; y : float }
+
+val make : x:float -> y:float -> t
+
+val origin : t
+
+val dist_sq : t -> t -> float
+(** Squared Euclidean distance (avoids the [sqrt] when only comparisons are
+    needed, as in unit-disk edge tests). *)
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist_toroidal : width:float -> height:float -> t -> t -> float
+(** Distance on the torus obtained by wrapping the working space
+    (minimum-image convention): removes the border effects of a confined
+    space, the standard methodological control in the random-geometric-
+    graph literature.  Assumes both points lie inside
+    [\[0, width\] x \[0, height\]]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val norm : t -> float
+(** Distance from the origin. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is the point a fraction [t] of the way from [a] to [b];
+    [lerp a b 0. = a] and [lerp a b 1. = b]. *)
+
+val in_box : t -> width:float -> height:float -> bool
+(** Whether the point lies in [\[0, width\] x \[0, height\]]. *)
+
+val clamp_box : t -> width:float -> height:float -> t
+(** Clamp both coordinates into the working space. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

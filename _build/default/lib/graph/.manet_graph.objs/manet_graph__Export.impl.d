@@ -1,0 +1,1 @@
+lib/graph/export.ml: Array Buffer Digraph Graph List Manet_geom Nodeset Printf String

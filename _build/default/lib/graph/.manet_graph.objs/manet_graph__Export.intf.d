@@ -1,0 +1,1 @@
+lib/graph/export.mli: Digraph Graph Manet_geom Nodeset

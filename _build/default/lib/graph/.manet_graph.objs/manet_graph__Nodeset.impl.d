@@ -1,0 +1,1 @@
+lib/graph/nodeset.ml: Array Format Int Set

@@ -1,0 +1,1 @@
+lib/graph/nodeset.mli: Format Set

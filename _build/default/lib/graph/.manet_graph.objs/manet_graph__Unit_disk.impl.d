@@ -1,0 +1,1 @@
+lib/graph/unit_disk.ml: Array Float Graph List Manet_geom

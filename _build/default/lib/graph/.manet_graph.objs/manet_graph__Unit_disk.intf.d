@@ -1,0 +1,1 @@
+lib/graph/unit_disk.mli: Graph Manet_geom

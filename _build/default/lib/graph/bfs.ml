@@ -1,0 +1,53 @@
+let distances_upto g ~source ~limit =
+  let dist = Array.make (Graph.n g) max_int in
+  dist.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if dist.(u) < limit then
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+  done;
+  dist
+
+let distances g ~source = distances_upto g ~source ~limit:max_int
+
+let hop_distance g u v =
+  let d = (distances g ~source:u).(v) in
+  if d = max_int then None else Some d
+
+let k_hop g ~source ~k =
+  let dist = distances_upto g ~source ~limit:k in
+  let s = ref Nodeset.empty in
+  Array.iteri (fun v d -> if d <= k then s := Nodeset.add v !s) dist;
+  !s
+
+let ring g ~source ~k =
+  let dist = distances_upto g ~source ~limit:k in
+  let s = ref Nodeset.empty in
+  Array.iteri (fun v d -> if d = k then s := Nodeset.add v !s) dist;
+  !s
+
+let eccentricity g v =
+  Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 (distances g ~source:v)
+
+let bfs_order g ~source =
+  let seen = Array.make (Graph.n g) false in
+  seen.(source) <- true;
+  let q = Queue.create () in
+  Queue.add source q;
+  let order = ref [] in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    Graph.iter_neighbors g u (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+  done;
+  List.rev !order

@@ -1,0 +1,31 @@
+(** Breadth-first search: hop distances and k-hop neighborhoods.
+
+    The paper's constructions are defined in terms of hop distances —
+    N^k(v) is v's k-hop neighbor set including v itself (Section 1) — and
+    the coverage sets are built from clusterheads 2 and 3 hops away. *)
+
+val distances : Graph.t -> source:int -> int array
+(** Hop distance from [source] to every node; [max_int] when
+    unreachable. *)
+
+val distances_upto : Graph.t -> source:int -> limit:int -> int array
+(** Like {!distances} but stops exploring beyond [limit] hops, leaving
+    farther nodes at [max_int].  O(edges within the ball). *)
+
+val hop_distance : Graph.t -> int -> int -> int option
+(** [hop_distance g u v] is the length of a shortest path, [None] when
+    disconnected. *)
+
+val k_hop : Graph.t -> source:int -> k:int -> Nodeset.t
+(** N^k(source): all nodes within [k] hops, including [source] itself. *)
+
+val ring : Graph.t -> source:int -> k:int -> Nodeset.t
+(** Nodes at hop distance exactly [k]. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite hop distance from the node (ignores unreachable
+    nodes); 0 on a single reachable node. *)
+
+val bfs_order : Graph.t -> source:int -> int list
+(** Reachable nodes in BFS discovery order ([source] first); neighbors are
+    explored in increasing id order, so the order is deterministic. *)

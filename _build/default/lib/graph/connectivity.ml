@@ -1,0 +1,51 @@
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let k = ref 0 in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if comp.(v) < 0 then begin
+      comp.(v) <- !k;
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Graph.iter_neighbors g u (fun w ->
+            if comp.(w) < 0 then begin
+              comp.(w) <- !k;
+              Queue.add w q
+            end)
+      done;
+      incr k
+    end
+  done;
+  (comp, !k)
+
+let is_connected g = Graph.n g <= 1 || snd (components g) = 1
+
+let component_sizes g =
+  let comp, k = components g in
+  let sizes = Array.make k 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  List.sort (fun a b -> compare b a) (Array.to_list sizes)
+
+let reachable_within g ~from s =
+  if not (Nodeset.mem from s) then Nodeset.empty
+  else begin
+    let seen = ref (Nodeset.singleton from) in
+    let q = Queue.create () in
+    Queue.add from q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Graph.iter_neighbors g u (fun v ->
+          if Nodeset.mem v s && not (Nodeset.mem v !seen) then begin
+            seen := Nodeset.add v !seen;
+            Queue.add v q
+          end)
+    done;
+    !seen
+  end
+
+let is_connected_subset g s =
+  match Nodeset.min_elt_opt s with
+  | None -> true
+  | Some v -> Nodeset.equal (reachable_within g ~from:v s) s

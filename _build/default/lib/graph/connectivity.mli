@@ -1,0 +1,24 @@
+(** Connectivity queries.
+
+    The paper's workload generator discards disconnected topologies, and
+    both backbone theorems are statements about connectivity of induced
+    subgraphs, so these checks appear throughout tests and experiments. *)
+
+val is_connected : Graph.t -> bool
+(** True for the empty and one-node graphs. *)
+
+val components : Graph.t -> int array * int
+(** [(comp, k)]: [comp.(v)] is the component index of [v] (0-based, in
+    order of smallest member), [k] the number of components. *)
+
+val component_sizes : Graph.t -> int list
+(** Sizes of the components, largest first. *)
+
+val is_connected_subset : Graph.t -> Nodeset.t -> bool
+(** Whether the subgraph induced by the set is connected.  The empty set
+    counts as connected (vacuously), matching the usual CDS convention for
+    trivial graphs. *)
+
+val reachable_within : Graph.t -> from:int -> Nodeset.t -> Nodeset.t
+(** Nodes of [s] reachable from [from] by paths staying inside [s];
+    empty if [from] is not in [s]. *)

@@ -1,0 +1,37 @@
+(** Directed graphs and strong connectivity.
+
+    The paper's cluster graph (Section 3) is directed: there is a link
+    (v, w) from clusterhead v to each clusterhead w in v's coverage set,
+    and with the 2.5-hop coverage set the relation is {e not} symmetric.
+    Theorem 1 rests on the cluster graph being strongly connected, so we
+    need an SCC decomposition (Tarjan's algorithm, iterative). *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Arcs [(u, v)] meaning u -> v; duplicates collapsed; self-loops allowed
+    (they do not affect strong connectivity).
+    @raise Invalid_argument on out-of-range endpoints or [n < 0]. *)
+
+val n : t -> int
+
+val m : t -> int
+(** Number of arcs. *)
+
+val successors : t -> int -> int array
+(** Sorted.  Callers must not mutate. *)
+
+val mem_arc : t -> int -> int -> bool
+
+val scc : t -> int array * int
+(** [(comp, k)]: strongly connected component index of each node, [k] the
+    number of components, numbered in reverse topological order of the
+    condensation (component 0 has no incoming arcs from other
+    components... component indices follow Tarjan completion order). *)
+
+val is_strongly_connected : t -> bool
+(** True for graphs with at most one node. *)
+
+val reverse : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+let undominated g s =
+  let out = ref Nodeset.empty in
+  for v = 0 to Graph.n g - 1 do
+    let dominated =
+      Nodeset.mem v s || Graph.fold_neighbors g v (fun acc u -> acc || Nodeset.mem u s) false
+    in
+    if not dominated then out := Nodeset.add v !out
+  done;
+  !out
+
+let is_dominating g s = Nodeset.is_empty (undominated g s)
+
+let is_independent g s =
+  Nodeset.for_all (fun u -> not (Graph.fold_neighbors g u (fun acc v -> acc || Nodeset.mem v s) false)) s
+
+let is_cds g s =
+  (if Graph.n g > 0 then not (Nodeset.is_empty s) else true)
+  && is_dominating g s
+  && Connectivity.is_connected_subset g s
+
+let domination_number_lower_bound g =
+  let n = Graph.n g in
+  if n = 0 then 0 else (n + Graph.max_degree g) / (Graph.max_degree g + 1)

@@ -1,0 +1,22 @@
+(** Dominating-set predicates (Section 1 definitions).
+
+    A dominating set (DS) is a node subset such that every node is either
+    in the set or adjacent to a member.  A connected dominating set (CDS)
+    additionally induces a connected subgraph.  An independent set (IS)
+    contains no two adjacent nodes.  These predicates are the correctness
+    oracles for every backbone construction in this repository. *)
+
+val is_dominating : Graph.t -> Nodeset.t -> bool
+
+val is_independent : Graph.t -> Nodeset.t -> bool
+
+val is_cds : Graph.t -> Nodeset.t -> bool
+(** [is_dominating && is_connected_subset].  On a connected graph with at
+    least one node, the empty set is not a CDS. *)
+
+val undominated : Graph.t -> Nodeset.t -> Nodeset.t
+(** The nodes witnessing a domination failure (empty iff dominating). *)
+
+val domination_number_lower_bound : Graph.t -> int
+(** [ceil (n / (Delta + 1))], the folklore lower bound on any dominating
+    set — used to prune the exact MCDS search. *)

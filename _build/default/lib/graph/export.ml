@@ -1,0 +1,69 @@
+let to_dot ?(name = "g") ?(highlight = Nodeset.empty) ?(secondary = Nodeset.empty) ?positions g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle];\n";
+  for v = 0 to Graph.n g - 1 do
+    let style =
+      if Nodeset.mem v highlight then
+        " [style=filled, fillcolor=black, fontcolor=white]"
+      else if Nodeset.mem v secondary then " [style=filled, fillcolor=gray]"
+      else ""
+    in
+    let pos =
+      match positions with
+      | Some pts when v < Array.length pts ->
+        let p : Manet_geom.Point.t = pts.(v) in
+        Printf.sprintf " [pos=\"%f,%f!\"]" p.x p.y
+      | Some _ | None -> ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d%s%s;\n" v style pos)
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_edge_csv g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "u,v\n";
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" u v)) (Graph.edges g);
+  Buffer.contents buf
+
+let to_adjacency_lines g =
+  let buf = Buffer.create 256 in
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf ':';
+    Graph.iter_neighbors g v (fun u -> Buffer.add_string buf (" " ^ string_of_int u));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_edge_csv text =
+  let parse_line line =
+    match String.split_on_char ',' (String.trim line) with
+    | [ u; v ] ->
+      (match (int_of_string_opt (String.trim u), int_of_string_opt (String.trim v)) with
+      | Some u, Some v when u >= 0 && v >= 0 -> Some (u, v)
+      | _, _ ->
+        if String.trim line = "u,v" then None
+        else invalid_arg (Printf.sprintf "Export.of_edge_csv: bad line %S" line))
+    | [ "" ] -> None
+    | _ -> invalid_arg (Printf.sprintf "Export.of_edge_csv: bad line %S" line)
+  in
+  let edges = List.filter_map parse_line (String.split_on_char '\n' text) in
+  let n = List.fold_left (fun acc (u, v) -> max acc (max u v + 1)) 0 edges in
+  Graph.of_edges ~n edges
+
+let digraph_to_dot ?(name = "g") d =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for v = 0 to Digraph.n d - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v);
+    Array.iter
+      (fun w -> Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" v w))
+      (Digraph.successors d v)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

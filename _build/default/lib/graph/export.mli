@@ -1,0 +1,31 @@
+(** Graph serialization for inspection and plotting.
+
+    The experiments print tables; these exporters let a user dump the
+    underlying topologies and backbones to standard tools (Graphviz,
+    spreadsheets). *)
+
+val to_dot :
+  ?name:string ->
+  ?highlight:Nodeset.t ->
+  ?secondary:Nodeset.t ->
+  ?positions:Manet_geom.Point.t array ->
+  Graph.t ->
+  string
+(** Graphviz source.  [highlight] nodes are drawn filled black (e.g.
+    clusterheads), [secondary] gray (e.g. gateways); [positions] pins node
+    layout to the simulation plane. *)
+
+val to_edge_csv : Graph.t -> string
+(** One "u,v" line per undirected edge, [u < v], header included. *)
+
+val to_adjacency_lines : Graph.t -> string
+(** "v: n1 n2 ..." per node — a quick human-readable dump. *)
+
+val digraph_to_dot : ?name:string -> Digraph.t -> string
+(** Graphviz source for a directed graph (used for cluster graphs). *)
+
+val of_edge_csv : string -> Graph.t
+(** Parse the format {!to_edge_csv} writes: an optional "u,v" header then
+    one "u,v" pair per line (blank lines ignored).  The node count is
+    1 + the largest endpoint mentioned.
+    @raise Invalid_argument on malformed lines or negative ids. *)

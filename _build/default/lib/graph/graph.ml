@@ -1,0 +1,102 @@
+type t = { n : int; m : int; adj : int array array }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let check v = if v < 0 || v >= n then invalid_arg "Graph.of_edges: endpoint out of range" in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v))
+    edges;
+  let m = ref 0 in
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list (List.sort_uniq compare l) in
+        m := !m + Array.length a;
+        a)
+      buckets
+  in
+  { n; m = !m / 2; adj }
+
+let empty n = of_edges ~n []
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  of_edges ~n !edges
+
+let path n = of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: need at least 3 nodes";
+  of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n = of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let n t = t.n
+let m t = t.m
+let neighbors t v = t.adj.(v)
+let degree t v = Array.length t.adj.(v)
+let max_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+let avg_degree t = if t.n = 0 then 0. else 2. *. float_of_int t.m /. float_of_int t.n
+
+let mem_edge t u v =
+  let a = t.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true else if a.(mid) < v then search (mid + 1) hi else search lo mid
+    end
+  in
+  u <> v && search 0 (Array.length a)
+
+let iter_neighbors t v f = Array.iter f t.adj.(v)
+let fold_neighbors t v f init = Array.fold_left f init t.adj.(v)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    let a = t.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if a.(i) > u then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let open_neighborhood t v = Array.fold_left (fun s u -> Nodeset.add u s) Nodeset.empty t.adj.(v)
+let closed_neighborhood t v = Nodeset.add v (open_neighborhood t v)
+
+let induced t s =
+  let back = Array.of_list (Nodeset.elements s) in
+  let fwd = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.add fwd v i) back;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt fwd w with
+          | Some j when i < j -> edges := (i, j) :: !edges
+          | Some _ | None -> ())
+        t.adj.(v))
+    back;
+  (of_edges ~n:(Array.length back) !edges, back)
+
+let equal a b = a.n = b.n && a.adj = b.adj
+
+let pp fmt t =
+  for v = 0 to t.n - 1 do
+    Format.fprintf fmt "%d:" v;
+    Array.iter (fun u -> Format.fprintf fmt " %d" u) t.adj.(v);
+    Format.pp_print_newline fmt ()
+  done

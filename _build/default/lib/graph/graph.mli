@@ -1,0 +1,72 @@
+(** Immutable undirected graphs over nodes [0 .. n-1].
+
+    A MANET is modeled as a unit disk graph (Section 1 of the paper):
+    nodes are hosts, edges are bidirectional links between hosts within
+    transmission range.  This module is the representation every algorithm
+    works on — adjacency is stored as sorted arrays, so neighbor iteration
+    is cache-friendly and membership tests are O(log degree). *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] nodes.  Edges are undirected;
+    duplicates (in either orientation) are collapsed.
+    @raise Invalid_argument on a self-loop, an endpoint outside
+    [\[0, n)], or [n < 0]. *)
+
+val empty : int -> t
+(** [empty n] has [n] nodes and no edges. *)
+
+val complete : int -> t
+
+val path : int -> t
+(** [path n] is the chain [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> t
+(** @raise Invalid_argument if [n < 3]. *)
+
+val star : int -> t
+(** [star n] has node 0 adjacent to each of [1 .. n-1]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val neighbors : t -> int -> int array
+(** Sorted, strictly increasing.  The returned array is the internal one —
+    callers must not mutate it. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** The paper's Delta; [0] on an empty graph. *)
+
+val avg_degree : t -> float
+(** [2m/n]; [0.] when [n = 0]. *)
+
+val mem_edge : t -> int -> int -> bool
+(** O(log degree); false for [u = v]. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v], lexicographically sorted. *)
+
+val closed_neighborhood : t -> int -> Nodeset.t
+(** N[v] = N(v) together with v itself. *)
+
+val open_neighborhood : t -> int -> Nodeset.t
+(** N(v). *)
+
+val induced : t -> Nodeset.t -> t * int array
+(** [induced g s] is the subgraph induced by [s] with nodes renumbered
+    [0 .. |s|-1], plus the array mapping new ids back to the originals. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One adjacency line per node, for debugging. *)

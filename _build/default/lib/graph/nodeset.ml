@@ -1,0 +1,22 @@
+include Set.Make (Int)
+
+let of_indicator a =
+  let s = ref empty in
+  Array.iteri (fun i v -> if v then s := add i !s) a;
+  !s
+
+let to_indicator ~n s =
+  let a = Array.make n false in
+  iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Nodeset.to_indicator: element out of range";
+      a.(i) <- true)
+    s;
+  a
+
+let range n = of_indicator (Array.make n true)
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Format.pp_print_int)
+    (elements s)

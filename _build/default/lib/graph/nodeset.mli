@@ -1,0 +1,19 @@
+(** Sets of node identifiers.
+
+    A thin extension of [Set.Make (Int)] shared by every algorithm in the
+    repository (coverage sets, forward-node sets, dominating sets, ...). *)
+
+include Set.S with type elt = int
+
+val of_indicator : bool array -> t
+(** [of_indicator a] is the set of indices [i] with [a.(i) = true]. *)
+
+val to_indicator : n:int -> t -> bool array
+(** [to_indicator ~n s] is the [n]-slot indicator array of [s].
+    @raise Invalid_argument if an element is outside [\[0, n)]. *)
+
+val range : int -> t
+(** [range n] is [{0, ..., n-1}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{a, b, c}]. *)

@@ -1,0 +1,45 @@
+module Point = Manet_geom.Point
+module Grid = Manet_geom.Grid
+
+let build ~radius points =
+  if radius <= 0. then invalid_arg "Unit_disk.build: radius must be positive";
+  let grid = Grid.make ~cell_size:radius points in
+  let edges = ref [] in
+  Array.iteri
+    (fun i p ->
+      List.iter
+        (fun j -> if j > i then edges := (i, j) :: !edges)
+        (Grid.within grid ~center:p ~radius))
+    points;
+  Graph.of_edges ~n:(Array.length points) !edges
+
+let build_brute_force ~radius points =
+  if radius <= 0. then invalid_arg "Unit_disk.build_brute_force: radius must be positive";
+  let n = Array.length points in
+  let r2 = radius *. radius in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Point.dist_sq points.(i) points.(j) < r2 then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let build_toroidal ~radius ~width ~height points =
+  if radius <= 0. then invalid_arg "Unit_disk.build_toroidal: radius must be positive";
+  let n = Array.length points in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Point.dist_toroidal ~width ~height points.(i) points.(j) < radius then
+        edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let expected_degree ~n ~radius ~width ~height =
+  float_of_int (n - 1) *. Float.pi *. radius *. radius /. (width *. height)
+
+let radius_for_degree ~n ~degree ~width ~height =
+  if n < 2 then invalid_arg "Unit_disk.radius_for_degree: need at least 2 nodes";
+  sqrt (degree *. width *. height /. (Float.pi *. float_of_int (n - 1)))

@@ -1,0 +1,1 @@
+lib/mcds/exact.ml: Array Greedy_cds List Manet_graph

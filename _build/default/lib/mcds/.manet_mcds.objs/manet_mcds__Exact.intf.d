@@ -1,0 +1,1 @@
+lib/mcds/exact.mli: Manet_graph

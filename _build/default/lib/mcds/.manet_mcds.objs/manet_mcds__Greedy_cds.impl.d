@@ -1,0 +1,1 @@
+lib/mcds/greedy_cds.ml: Array Manet_graph

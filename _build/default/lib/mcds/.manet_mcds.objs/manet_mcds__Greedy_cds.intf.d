@@ -1,0 +1,1 @@
+lib/mcds/greedy_cds.mli: Manet_graph

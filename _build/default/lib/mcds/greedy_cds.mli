@@ -1,0 +1,11 @@
+(** Greedy connected dominating set (Guha and Khuller, 1996, Algorithm I).
+
+    Grows a connected black set from a maximum-degree node, repeatedly
+    blackening the gray (dominated, non-member) node that dominates the
+    most still-white (undominated) nodes.  Yields a CDS within a
+    logarithmic factor of optimal — the scalable reference point for the
+    approximation-ratio experiment on networks too large for the exact
+    search. *)
+
+val build : Manet_graph.Graph.t -> Manet_graph.Nodeset.t
+(** @raise Invalid_argument if the graph is empty or disconnected. *)

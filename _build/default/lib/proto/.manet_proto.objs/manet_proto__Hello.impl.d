@@ -1,0 +1,1 @@
+lib/proto/hello.ml: Array Manet_graph Manet_sim

@@ -1,0 +1,1 @@
+lib/proto/hello.mli: Manet_graph

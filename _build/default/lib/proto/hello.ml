@@ -1,0 +1,46 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+
+type tables = { neighbors : Nodeset.t array; two_hop : Nodeset.t array }
+
+module P = struct
+  type msg = Hello of int | Neighbor_list of Nodeset.t
+
+  type state = {
+    id : int;
+    mutable round : int;
+    mutable nbrs : Nodeset.t;
+    mutable two : Nodeset.t;
+  }
+
+  let init _g v = { id = v; round = 0; nbrs = Nodeset.empty; two = Nodeset.empty }
+
+  let on_start s = [ Hello s.id ]
+
+  let on_message s ~from m =
+    match m with
+    | Hello id -> s.nbrs <- Nodeset.add id s.nbrs
+    | Neighbor_list l ->
+      ignore from;
+      s.two <- Nodeset.union s.two l
+
+  let on_round_end s =
+    s.round <- s.round + 1;
+    if s.round = 1 then [ Neighbor_list s.nbrs ] else []
+end
+
+module R = Manet_sim.Rounds.Run (P)
+
+let run g = R.run g
+
+let discover g =
+  let report = run g in
+  let neighbors = Array.map (fun (s : P.state) -> s.nbrs) report.states in
+  let two_hop =
+    Array.map
+      (fun (s : P.state) -> Nodeset.remove s.id (Nodeset.union s.nbrs s.two))
+      report.states
+  in
+  { neighbors; two_hop }
+
+let transmissions g = (run g).transmissions

@@ -1,0 +1,24 @@
+(** The HELLO neighbor-discovery protocol.
+
+    "Each node can learn its neighbors' IDs through HELLO messages"
+    (Section 3).  Every node broadcasts one HELLO carrying its id; after
+    one round each node knows N(v).  A second round of broadcasts, each
+    carrying the sender's freshly learned neighbor list, gives every node
+    its 2-hop neighborhood — the knowledge assumed by the SD-CDS neighbor
+    selection algorithms (DP, PDP, MPR).
+
+    This module is both a working building block and the reference example
+    for writing protocols against {!Manet_sim.Rounds}. *)
+
+type tables = {
+  neighbors : Manet_graph.Nodeset.t array;  (** N(v), discovered *)
+  two_hop : Manet_graph.Nodeset.t array;
+      (** N^2(v) minus v itself: everything within 2 hops, discovered *)
+}
+
+val discover : Manet_graph.Graph.t -> tables
+(** Run the two-round exchange.  Total transmissions are exactly [2 n]. *)
+
+val transmissions : Manet_graph.Graph.t -> int
+(** Transmission count of {!discover} (for the message-complexity
+    experiment). *)

@@ -1,0 +1,47 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The generator is a SplitMix64 stream (Steele, Lea & Flood, OOPSLA'14).
+    It is fast, has a 64-bit state, passes BigCrush when used as intended,
+    and — crucially for reproducible experiments — supports {!split}: a
+    child generator whose stream is statistically independent of its
+    parent's.  Every experiment in this repository derives its randomness
+    from a single integer seed through this module, so any figure or test
+    can be re-run bit-for-bit. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is a generator with the same state as [g]; advancing one does
+    not affect the other. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator seeded from it whose
+    subsequent stream is independent of [g]'s.  Use one split per
+    experimental unit (per sample, per node, ...) so that adding draws to
+    one unit does not perturb the others. *)
+
+val next_int64 : t -> int64
+(** [next_int64 g] is the next raw 64-bit output of the stream. *)
+
+val bits : t -> int
+(** [bits g] is a uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  Unbiased (rejection
+    sampling).  @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in g ~lo ~hi] is uniform in the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)] with 53 bits of
+    precision.  @raise Invalid_argument if [bound <= 0. or not finite]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)

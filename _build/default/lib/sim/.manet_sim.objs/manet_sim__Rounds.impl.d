@@ -1,0 +1,1 @@
+lib/sim/rounds.ml: Array List Manet_graph

@@ -1,0 +1,44 @@
+module Key = struct
+  type t = { time : int; seq : int }
+
+  let compare a b =
+    match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+end
+
+module H = Heap.Make (Key)
+
+type t = {
+  queue : (t -> unit) H.t;
+  mutable clock : int;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+let create () = { queue = H.create (); clock = 0; seq = 0; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  H.push t.queue { time; seq = t.seq } f;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) f
+
+let run ?(until = max_int) t =
+  let continue = ref true in
+  while !continue do
+    match H.peek t.queue with
+    | Some ({ time; _ }, _) when time <= until ->
+      let { Key.time; _ }, f = H.pop_exn t.queue in
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f t
+    | Some _ | None -> continue := false
+  done
+
+let processed t = t.processed
+
+let pending t = H.length t.queue

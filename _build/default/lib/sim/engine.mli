@@ -1,0 +1,29 @@
+(** A minimal discrete-event simulation core.
+
+    Events are closures scheduled at integer times (a "unit time" matches
+    the paper's round-based complexity analysis).  Events at the same time
+    fire in scheduling order, so runs are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time; 0 before the first event. *)
+
+val schedule : t -> delay:int -> (t -> unit) -> unit
+(** [schedule t ~delay f] fires [f] at [now t + delay].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val schedule_at : t -> time:int -> (t -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the past. *)
+
+val run : ?until:int -> t -> unit
+(** Process events in time order until the queue is empty, or beyond
+    [until] (events strictly after [until] stay queued). *)
+
+val processed : t -> int
+(** Number of events fired so far. *)
+
+val pending : t -> int
+(** Number of events still queued. *)

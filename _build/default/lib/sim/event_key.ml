@@ -1,0 +1,13 @@
+type t = { time : int; kind : int; node : int; sender : int }
+
+let compare a b =
+  match compare a.time b.time with
+  | 0 ->
+    (match compare a.kind b.kind with
+    | 0 -> (match compare a.node b.node with 0 -> compare a.sender b.sender | c -> c)
+    | c -> c)
+  | c -> c
+
+let reception ~time ~node ~sender = { time; kind = 0; node; sender }
+
+let local ~time ~kind ~node = { time; kind; node; sender = node }

@@ -1,0 +1,15 @@
+(** The ordering key shared by the event-driven broadcast loops.
+
+    Events are processed by time; [kind] sequences event classes within a
+    time unit (e.g. receptions before backoff expiries); [node] and
+    [sender] make the order total and deterministic. *)
+
+type t = { time : int; kind : int; node : int; sender : int }
+
+val compare : t -> t -> int
+
+val reception : time:int -> node:int -> sender:int -> t
+(** Kind 0. *)
+
+val local : time:int -> kind:int -> node:int -> t
+(** A node-local event (expiry, decision); [sender = node]. *)

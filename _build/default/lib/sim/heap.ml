@@ -1,0 +1,72 @@
+module Make (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  type 'a t = { mutable data : (Ord.t * 'a) array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let length t = t.len
+
+  let is_empty t = t.len = 0
+
+  let grow t =
+    let cap = Array.length t.data in
+    if t.len >= cap then begin
+      let dummy = t.data.(0) in
+      let data = Array.make (max 8 (2 * cap)) dummy in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+
+  let less t i j = Ord.compare (fst t.data.(i)) (fst t.data.(j)) < 0
+
+  let swap t i j =
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- tmp
+
+  let rec sift_up t i =
+    let parent = (i - 1) / 2 in
+    if i > 0 && less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = if l < t.len && less t l i then l else i in
+    let smallest = if r < t.len && less t r smallest then r else smallest in
+    if smallest <> i then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+
+  let push t key v =
+    if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 8 (key, v);
+    grow t;
+    t.data.(t.len) <- (key, v);
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+
+  let peek t = if t.len = 0 then None else Some t.data.(0)
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.data.(0) <- t.data.(t.len);
+        sift_down t 0
+      end;
+      Some top
+    end
+
+  let pop_exn t =
+    match pop t with Some e -> e | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+  let clear t = t.len <- 0
+end

@@ -1,0 +1,48 @@
+module Graph = Manet_graph.Graph
+
+module type PROTOCOL = sig
+  type state
+
+  type msg
+
+  val init : Graph.t -> int -> state
+
+  val on_start : state -> msg list
+
+  val on_message : state -> from:int -> msg -> unit
+
+  val on_round_end : state -> msg list
+end
+
+module Run (P : PROTOCOL) = struct
+  type report = { states : P.state array; rounds : int; transmissions : int }
+
+  let run ?max_rounds g =
+    let n = Graph.n g in
+    let max_rounds = match max_rounds with Some r -> r | None -> (10 * n) + 64 in
+    let states = Array.init n (P.init g) in
+    let transmissions = ref 0 in
+    (* outbox.(v): messages v broadcasts this round, oldest first *)
+    let outbox = Array.init n (fun v -> P.on_start states.(v)) in
+    Array.iter (fun msgs -> transmissions := !transmissions + List.length msgs) outbox;
+    let rounds = ref 0 in
+    let in_flight = ref (Array.exists (fun l -> l <> []) outbox) in
+    while !in_flight do
+      incr rounds;
+      if !rounds > max_rounds then failwith "Rounds.run: protocol did not quiesce";
+      (* Deliver: receiver processes senders in increasing id order. *)
+      for receiver = 0 to n - 1 do
+        Array.iter
+          (fun sender ->
+            List.iter (fun m -> P.on_message states.(receiver) ~from:sender m) outbox.(sender))
+          (Graph.neighbors g receiver)
+      done;
+      let next = Array.init n (fun v -> P.on_round_end states.(v)) in
+      Array.blit next 0 outbox 0 n;
+      let sent = ref 0 in
+      Array.iter (fun msgs -> sent := !sent + List.length msgs) outbox;
+      transmissions := !transmissions + !sent;
+      in_flight := !sent > 0
+    done;
+    { states; rounds = !rounds; transmissions = !transmissions }
+end

@@ -1,0 +1,46 @@
+(** Synchronous round-based message passing over a graph.
+
+    The distributed algorithms of the paper (lowest-ID clustering, the
+    CH_HOP1/CH_HOP2 exchange, GATEWAY notification) are specified as
+    local-broadcast protocols: in each round, a node may broadcast a
+    message that all its 1-hop neighbors receive in the next round.  This
+    engine runs such a protocol to quiescence, counting rounds and
+    transmissions so the paper's O(n) message/time-complexity claims can
+    be checked experimentally (experiment ext-msgs).
+
+    Determinism: within a round each node processes its inbox sorted by
+    sender id, and nodes are stepped in id order. *)
+
+module type PROTOCOL = sig
+  type state
+
+  type msg
+
+  val init : Manet_graph.Graph.t -> int -> state
+  (** [init g v] builds node [v]'s initial state.  The node may inspect
+      its own 1-hop neighborhood (the HELLO exchange is implicit). *)
+
+  val on_start : state -> msg list
+  (** Broadcasts sent in round 0. *)
+
+  val on_message : state -> from:int -> msg -> unit
+  (** Absorb one received message (no immediate reply — replies are
+      collected by {!on_round_end}, keeping rounds synchronous). *)
+
+  val on_round_end : state -> msg list
+  (** Called once per round for every node after all deliveries; the
+      returned messages are broadcast next round. *)
+end
+
+module Run (P : PROTOCOL) : sig
+  type report = {
+    states : P.state array;
+    rounds : int;  (** rounds until quiescence *)
+    transmissions : int;  (** total local broadcasts — the paper's message count *)
+  }
+
+  val run : ?max_rounds:int -> Manet_graph.Graph.t -> report
+  (** Run to quiescence (a round in which no node transmits).
+      [max_rounds] defaults to [10 * n + 64].
+      @raise Failure if the protocol does not quiesce in time. *)
+end

@@ -1,0 +1,37 @@
+type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let index t x =
+  let b = bins t in
+  let i = int_of_float (floor (float_of_int b *. (x -. t.lo) /. (t.hi -. t.lo))) in
+  if i < 0 then 0 else if i >= b then b - 1 else i
+
+let add t x =
+  t.counts.(index t x) <- t.counts.(index t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_count: bad index";
+  t.counts.(i)
+
+let bin_range t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_range: bad index";
+  let w = (t.hi -. t.lo) /. float_of_int (bins t) in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let pp fmt t =
+  let widest = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_range t i in
+      let bar = String.make (c * 40 / widest) '#' in
+      Format.fprintf fmt "[%7.2f, %7.2f) %5d %s@." lo hi c bar)
+    t.counts

@@ -1,0 +1,25 @@
+(** Fixed-width histograms, used to report degree and cluster-size
+    distributions in the examples and extension experiments. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal bins;
+    observations outside the range are counted in saturated edge bins.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total number of observations. *)
+
+val bin_count : t -> int -> int
+(** Observations in bin [i].  @raise Invalid_argument on a bad index. *)
+
+val bin_range : t -> int -> float * float
+(** Inclusive-exclusive value range of bin [i]. *)
+
+val bins : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Render as an ASCII bar chart, one bin per line. *)

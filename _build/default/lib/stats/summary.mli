@@ -1,0 +1,39 @@
+(** Online summary statistics (Welford's algorithm).
+
+    Accumulates a stream of observations in O(1) space with numerically
+    stable mean and variance — the building block for the paper's
+    repeat-until-confident simulation loop. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of the observations so far; [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for fewer than two
+    observations. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val ci_half_width : t -> z:float -> float
+(** [ci_half_width t ~z] is [z * stddev / sqrt n], the half-width of the
+    normal-approximation confidence interval at quantile [z] (2.576 for
+    99%).  [0.] for fewer than two observations. *)
+
+val merge : t -> t -> t
+(** Summary of the union of both observation streams (Chan's parallel
+    update). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topology/generator.ml: Array Format Manet_geom Manet_graph Manet_rng Spec

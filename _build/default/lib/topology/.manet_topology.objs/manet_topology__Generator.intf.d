@@ -1,0 +1,1 @@
+lib/topology/generator.mli: Manet_geom Manet_graph Manet_rng Spec

@@ -1,0 +1,1 @@
+lib/topology/mobility.ml: Array Float Manet_geom Manet_graph Manet_rng Spec

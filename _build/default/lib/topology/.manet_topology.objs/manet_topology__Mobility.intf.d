@@ -1,0 +1,1 @@
+lib/topology/mobility.mli: Manet_geom Manet_graph Manet_rng Spec

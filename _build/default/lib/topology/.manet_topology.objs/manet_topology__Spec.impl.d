@@ -1,0 +1,1 @@
+lib/topology/spec.ml: Format Manet_graph

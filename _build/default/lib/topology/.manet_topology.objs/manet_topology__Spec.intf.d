@@ -1,0 +1,1 @@
+lib/topology/spec.mli: Format

@@ -1,0 +1,27 @@
+module Rng = Manet_rng.Rng
+module Point = Manet_geom.Point
+module Graph = Manet_graph.Graph
+module Unit_disk = Manet_graph.Unit_disk
+module Connectivity = Manet_graph.Connectivity
+
+type sample = { points : Point.t array; graph : Graph.t; radius : float; attempts : int }
+
+let place_uniform rng (spec : Spec.t) =
+  Array.init spec.n (fun _ ->
+      Point.make ~x:(Rng.float rng spec.width) ~y:(Rng.float rng spec.height))
+
+let sample rng spec =
+  let points = place_uniform rng spec in
+  let radius = Spec.radius spec in
+  { points; graph = Unit_disk.build ~radius points; radius; attempts = 1 }
+
+let sample_connected ?(max_attempts = 10_000) rng spec =
+  let rec draw attempts =
+    if attempts > max_attempts then
+      failwith
+        (Format.asprintf "Generator.sample_connected: no connected topology for %a in %d attempts"
+           Spec.pp spec max_attempts);
+    let s = sample rng spec in
+    if Connectivity.is_connected s.graph then { s with attempts } else draw (attempts + 1)
+  in
+  draw 1

@@ -1,0 +1,24 @@
+(** Random topology generation with the paper's rejection rule.
+
+    "Nodes are randomly placed in this area. ... If the generated network
+    is not connected, it is discarded." (Section 4.) *)
+
+type sample = {
+  points : Manet_geom.Point.t array;
+  graph : Manet_graph.Graph.t;
+  radius : float;
+  attempts : int;  (** placements drawn before a connected one appeared *)
+}
+
+val place_uniform : Manet_rng.Rng.t -> Spec.t -> Manet_geom.Point.t array
+(** One uniform placement of [spec.n] points in the working space. *)
+
+val sample : Manet_rng.Rng.t -> Spec.t -> sample
+(** One random topology (not necessarily connected). [attempts = 1]. *)
+
+val sample_connected : ?max_attempts:int -> Manet_rng.Rng.t -> Spec.t -> sample
+(** Redraw placements until the unit-disk graph is connected.
+    [max_attempts] defaults to 10_000.
+    @raise Failure if no connected topology appears within the budget
+    (indicates an infeasible spec, e.g. a degree target far below the
+    connectivity threshold). *)

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array List Manet_baselines Manet_broadcast Manet_cluster Manet_coverage Manet_graph Manet_mcds Manet_rng Printf Test_helpers

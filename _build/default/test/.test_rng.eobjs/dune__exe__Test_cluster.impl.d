@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array List Manet_cluster Manet_graph Manet_rng Manet_topology Printf Test_helpers

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Format List Manet_cluster Manet_coverage Manet_graph Option Printf Test_helpers

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest List Manet_backbone Manet_broadcast Manet_cluster Manet_coverage Manet_graph Printf Test_helpers

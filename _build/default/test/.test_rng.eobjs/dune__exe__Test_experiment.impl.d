@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Filename List Manet_coverage Manet_experiment Manet_graph Manet_rng Manet_stats Manet_topology Printf Sys Test_helpers

@@ -1,0 +1,1 @@
+test/test_gateway.ml: Alcotest List Manet_backbone Manet_cluster Manet_coverage Manet_graph Test_helpers

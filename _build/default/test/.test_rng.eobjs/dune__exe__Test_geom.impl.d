@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array List Manet_geom Manet_rng Printf

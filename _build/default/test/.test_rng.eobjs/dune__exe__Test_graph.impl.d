@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Manet_geom Manet_graph Manet_rng QCheck Queue Test_helpers

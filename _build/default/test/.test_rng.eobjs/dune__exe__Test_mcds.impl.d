@@ -1,0 +1,1 @@
+test/test_mcds.ml: Alcotest Manet_backbone Manet_coverage Manet_graph Manet_mcds Test_helpers

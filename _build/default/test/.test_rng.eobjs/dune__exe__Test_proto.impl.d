@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Manet_graph Manet_proto Printf Test_helpers

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Fun Hashtbl List Manet_rng Manet_stats Option

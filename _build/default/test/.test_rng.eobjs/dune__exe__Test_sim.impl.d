@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int List Manet_graph Manet_rng Manet_sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Format List Manet_rng Manet_stats Test_helpers

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float Fun List Manet_geom Manet_graph Manet_rng Manet_topology Printf Test_helpers

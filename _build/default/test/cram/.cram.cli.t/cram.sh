@@ -1,0 +1,23 @@
+  $ cat > fig3.csv <<'CSV'
+  > u,v
+  > 0,4
+  > 0,5
+  > 0,6
+  > 1,5
+  > 1,7
+  > 2,6
+  > 2,7
+  > 2,8
+  > 2,9
+  > 3,8
+  > 3,9
+  > 4,8
+  > CSV
+  $ manet cluster --edges fig3.csv
+  $ manet backbone --edges fig3.csv --algo static-2.5
+  $ manet broadcast --edges fig3.csv --proto dynamic-2.5 --source 0
+  $ manet broadcast --edges fig3.csv --proto dynamic-2.5 --source 0 --trace
+  $ manet broadcast --edges fig3.csv --proto flooding --source 9
+  $ manet generate -n 12 -d 5 --seed 3 --format adjacency 2>/dev/null > a.txt
+  $ manet generate -n 12 -d 5 --seed 3 --format adjacency 2>/dev/null > b.txt
+  $ cmp a.txt b.txt && echo same

@@ -1,0 +1,300 @@
+module Figures = Manet_experiment.Figures
+module Sweep = Manet_experiment.Sweep
+module Metric = Manet_experiment.Metric
+module Context = Manet_experiment.Context
+module Render = Manet_experiment.Render
+module Summary = Manet_stats.Summary
+module Coverage = Manet_coverage.Coverage
+open Test_helpers
+
+let quick = Figures.quick
+
+let mean_of point name =
+  match List.assoc_opt name (point : Sweep.point).cells with
+  | Some (c : Sweep.cell) -> Summary.mean c.summary
+  | None -> Alcotest.failf "metric %s missing" name
+
+(* Context *)
+
+let test_context_draw () =
+  let rng = Manet_rng.Rng.create ~seed:3 in
+  let spec = Manet_topology.Spec.make ~n:30 ~avg_degree:6. () in
+  let ctx = Context.draw rng spec in
+  Alcotest.(check bool) "connected" true
+    (Manet_graph.Connectivity.is_connected (Context.graph ctx));
+  Alcotest.(check bool) "source in range" true (ctx.source >= 0 && ctx.source < 30)
+
+(* Sweep mechanics *)
+
+let test_sweep_shape () =
+  let rng = Manet_rng.Rng.create ~seed:1 in
+  let table =
+    Sweep.run ~min_samples:3 ~max_samples:4 ~rng ~d:6. ~ns:[ 20; 30 ]
+      [ Metric.cluster_count; Metric.realized_degree ]
+  in
+  Alcotest.(check (list string)) "metric names" [ "clusters"; "degree" ] table.metrics;
+  Alcotest.(check int) "two points" 2 (List.length table.points);
+  List.iter
+    (fun (p : Sweep.point) ->
+      Alcotest.(check bool) "samples within bounds" true (p.samples >= 3 && p.samples <= 4);
+      Alcotest.(check int) "cells per metric" 2 (List.length p.cells))
+    table.points
+
+let test_sweep_deterministic () =
+  let run () =
+    let rng = Manet_rng.Rng.create ~seed:9 in
+    Sweep.run ~min_samples:3 ~max_samples:3 ~rng ~d:6. ~ns:[ 25 ] [ Metric.cluster_count ]
+  in
+  let a = run () and b = run () in
+  let va = mean_of (List.hd a.points) "clusters" in
+  let vb = mean_of (List.hd b.points) "clusters" in
+  Alcotest.(check (float 1e-12)) "same seed, same result" va vb
+
+let test_sweep_domains_deterministic () =
+  (* Parallel evaluation must be bit-identical to sequential. *)
+  let run domains =
+    let rng = Manet_rng.Rng.create ~seed:31 in
+    Sweep.run ~min_samples:4 ~max_samples:4 ~domains ~rng ~d:6. ~ns:[ 20; 30; 40 ]
+      [ Metric.cluster_count; Metric.static_size Coverage.Hop25 ]
+  in
+  let a = run 1 and b = run 3 in
+  List.iter2
+    (fun (pa : Sweep.point) (pb : Sweep.point) ->
+      Alcotest.(check int) "same samples" pa.samples pb.samples;
+      List.iter2
+        (fun (na, (ca : Sweep.cell)) (nb, (cb : Sweep.cell)) ->
+          Alcotest.(check string) "metric order" na nb;
+          Alcotest.(check (float 1e-12)) "same mean" (Summary.mean ca.summary)
+            (Summary.mean cb.summary))
+        pa.cells pb.cells)
+    a.points b.points
+
+let test_sweep_stopping_rule () =
+  (* A zero-variance metric converges exactly at the floor. *)
+  let rng = Manet_rng.Rng.create ~seed:2 in
+  let constant = { Metric.name = "const"; eval = (fun _ -> 1.) } in
+  let spec = Manet_topology.Spec.make ~n:20 ~avg_degree:6. () in
+  let p = Sweep.run_point ~min_samples:5 ~max_samples:100 ~rng ~spec [ constant ] in
+  Alcotest.(check int) "stops at floor" 5 p.samples;
+  match p.cells with
+  | [ (_, c) ] -> Alcotest.(check bool) "converged" true c.converged
+  | _ -> Alcotest.fail "one cell expected"
+
+(* Figures: quick-config smoke runs asserting the paper's orderings. *)
+
+let test_fig6_shape () =
+  List.iter
+    (fun d ->
+      let t = Figures.fig6 ~config:quick ~d () in
+      List.iter
+        (fun p ->
+          let s25 = mean_of p "static-2.5hop" in
+          let s3 = mean_of p "static-3hop" in
+          let mo = mean_of p "mo_cds" in
+          (* Paper: curves nearly coincide; enforce a loose band. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "d=%g n=%d: static near mo_cds" d p.Sweep.n)
+            true
+            (s25 <= mo *. 1.15 && s3 <= mo *. 1.15 && s25 >= mo *. 0.6))
+        t.points)
+    [ 6.; 18. ]
+
+let test_fig7_shape () =
+  List.iter
+    (fun d ->
+      let t = Figures.fig7 ~config:quick ~d () in
+      List.iter
+        (fun p ->
+          let dyn = mean_of p "dynamic-2.5hop" in
+          let mo = mean_of p "mo_cds" in
+          Alcotest.(check bool)
+            (Printf.sprintf "d=%g n=%d: dynamic (%f) <= mo_cds (%f)" d p.Sweep.n dyn mo)
+            true (dyn <= mo *. 1.02))
+        t.points)
+    [ 6.; 18. ]
+
+let test_fig8_shape () =
+  let t = Figures.fig8 ~config:quick ~d:18. () in
+  List.iter
+    (fun p ->
+      let stat = mean_of p "static-2.5hop" in
+      let dyn = mean_of p "dynamic-2.5hop" in
+      (* quick config uses very few samples; allow an absolute slack of
+         one forward node to absorb noise at small n *)
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d dynamic (%f) <= static (%f) + 1" p.Sweep.n dyn stat)
+        true (dyn <= stat +. 1.))
+    t.points
+
+let test_ext_delivery_perfect () =
+  let t = Figures.ext_delivery ~config:quick ~d:6. () in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (name, (c : Sweep.cell)) ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s delivery at n=%d" name p.Sweep.n)
+            1. (Summary.mean c.summary))
+        p.Sweep.cells)
+    t.points
+
+let test_ext_msgs_linear () =
+  let t = Figures.ext_msgs ~config:quick ~d:6. () in
+  List.iter
+    (fun p ->
+      let per_node = mean_of p "total/n" in
+      Alcotest.(check bool)
+        (Printf.sprintf "messages per node (%f) bounded at n=%d" per_node p.Sweep.n)
+        true
+        (per_node >= 2. && per_node <= 6.))
+    t.points
+
+let test_ext_approx_ratios () =
+  let config = { quick with ns = [ 10; 14 ] } in
+  let t = Figures.ext_approx ~config () in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun name ->
+          let r = mean_of p name in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ratio (%f) sane at n=%d" name r p.Sweep.n)
+            true
+            (r >= 1.0 && r < 12.))
+        [ "static-2.5hop/mcds"; "static-3hop/mcds"; "mo_cds/mcds"; "greedy/mcds" ])
+    t.points
+
+let test_ext_mobility () =
+  let config = { quick with min_samples = 4; ns = [ 30 ] } in
+  let t = Figures.ext_mobility ~config ~speeds:[ 2.; 10. ] ~d:6. () in
+  Alcotest.(check int) "two rows" 2 (List.length t.rows);
+  (match t.rows with
+  | [ slow; fast ] ->
+    Alcotest.(check bool) "row order" true (slow.speed < fast.speed);
+    (* Faster motion cannot keep the frozen backbone valid longer (means
+       over few samples: allow generous slack, just catch inversions). *)
+    Alcotest.(check bool) "static lifetime positive" true
+      (Summary.mean slow.static_valid_time > 0.);
+    Alcotest.(check bool) "dynamic delivery >= stale delivery" true
+      (Summary.mean fast.dynamic_delivery >= Summary.mean fast.stale_delivery -. 1e-9)
+  | _ -> Alcotest.fail "rows");
+  let rendered = Figures.render_mobility t in
+  Alcotest.(check bool) "render mentions speeds" true (contains rendered "10")
+
+let test_ext_lossy () =
+  let config = { quick with min_samples = 4 } in
+  let t = Figures.ext_lossy ~config ~losses:[ 0.; 0.3 ] ~d:8. () in
+  (match t.rows with
+  | [ zero; lossy30 ] ->
+    List.iter
+      (fun (name, s) ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "%s perfect at zero loss" name)
+          1. (Summary.mean s))
+      zero.deliveries;
+    let flood30 = List.assoc "flooding" lossy30.deliveries in
+    let dyn30 = List.assoc "dynamic-2.5hop" lossy30.deliveries in
+    Alcotest.(check bool) "flooding more robust than dynamic backbone" true
+      (Summary.mean flood30 >= Summary.mean dyn30)
+  | _ -> Alcotest.fail "two rows expected");
+  Alcotest.(check bool) "renders" true (contains (Figures.render_lossy t) "0.30")
+
+let test_ext_maintenance () =
+  let config = { quick with min_samples = 3 } in
+  let t = Figures.ext_maintenance ~config ~speeds:[ 1.; 8. ] ~d:6. () in
+  (match t.rows with
+  | [ slow; fast ] ->
+    Alcotest.(check bool) "faster motion costs more maintenance" true
+      (Summary.mean fast.incremental_msgs >= Summary.mean slow.incremental_msgs);
+    Alcotest.(check bool) "messages below full rebuild" true
+      (Summary.mean fast.incremental_msgs < float_of_int t.n)
+  | _ -> Alcotest.fail "two rows expected");
+  Alcotest.(check bool) "renders" true (contains (Figures.render_maintenance t) "speed")
+
+let test_ext_clustering () =
+  let t = Figures.ext_clustering ~config:quick ~d:6. () in
+  List.iter
+    (fun p ->
+      let id_size = mean_of p "static-2.5hop" in
+      let deg_size = mean_of p "static-2.5hop/deg" in
+      Alcotest.(check bool)
+        (Printf.sprintf "sizes comparable at n=%d (%.1f vs %.1f)" p.Sweep.n id_size deg_size)
+        true
+        (deg_size <= id_size *. 1.3 && deg_size >= id_size *. 0.5))
+    t.points
+
+let test_ext_si_cds () =
+  let t = Figures.ext_si_cds ~config:quick ~d:6. () in
+  List.iter
+    (fun p ->
+      (* the cluster count is a floor for every cluster-based CDS *)
+      let clusters = mean_of p "clusters" in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s >= clusters at n=%d" name p.Sweep.n)
+            true
+            (mean_of p name >= clusters -. 1e-9))
+        [ "static-2.5hop"; "mo_cds"; "tree-cds" ])
+    t.points
+
+let test_ext_reliable () =
+  let config = { quick with min_samples = 3 } in
+  let t = Figures.ext_reliable ~config ~losses:[ 0.; 0.2 ] ~d:8. () in
+  (match t.rows with
+  | [ zero; lossy ] ->
+    Alcotest.(check (float 1e-9)) "complete at zero loss" 1. (Summary.mean zero.tree_complete);
+    Alcotest.(check bool) "retransmissions under loss" true
+      (Summary.mean lossy.tree_data > Summary.mean zero.tree_data)
+  | _ -> Alcotest.fail "two rows expected");
+  Alcotest.(check bool) "renders" true (contains (Figures.render_reliable t) "oracle")
+
+(* Render *)
+
+let test_render_text_and_csv () =
+  let rng = Manet_rng.Rng.create ~seed:4 in
+  let t =
+    Sweep.run ~min_samples:3 ~max_samples:3 ~rng ~d:6. ~ns:[ 20 ] [ Metric.cluster_count ]
+  in
+  let text = Render.to_text ~title:"smoke" t in
+  Alcotest.(check bool) "title present" true (contains text "smoke");
+  Alcotest.(check bool) "metric header" true (contains text "clusters");
+  let csv = Render.to_csv t in
+  Alcotest.(check bool) "csv header" true (contains csv "n,samples,clusters_mean,clusters_ci");
+  Alcotest.(check bool) "csv row" true (contains csv "\n20,3,");
+  let path = Filename.temp_file "manet" ".csv" in
+  Render.write_csv ~path t;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (contains line "n,samples")
+
+let () =
+  Alcotest.run "experiment"
+    [
+      ("context", [ Alcotest.test_case "draw" `Quick test_context_draw ]);
+      ( "sweep",
+        [
+          Alcotest.test_case "shape" `Quick test_sweep_shape;
+          Alcotest.test_case "deterministic" `Quick test_sweep_deterministic;
+          Alcotest.test_case "domains deterministic" `Quick test_sweep_domains_deterministic;
+          Alcotest.test_case "stopping rule" `Quick test_sweep_stopping_rule;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig6 shape" `Slow test_fig6_shape;
+          Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+          Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
+          Alcotest.test_case "delivery diagnostics" `Slow test_ext_delivery_perfect;
+          Alcotest.test_case "message complexity" `Slow test_ext_msgs_linear;
+          Alcotest.test_case "approximation ratios" `Slow test_ext_approx_ratios;
+          Alcotest.test_case "mobility" `Slow test_ext_mobility;
+          Alcotest.test_case "lossy links" `Slow test_ext_lossy;
+          Alcotest.test_case "maintenance" `Slow test_ext_maintenance;
+          Alcotest.test_case "clustering ablation" `Slow test_ext_clustering;
+          Alcotest.test_case "si-cds comparison" `Slow test_ext_si_cds;
+          Alcotest.test_case "reliable broadcast" `Slow test_ext_reliable;
+        ] );
+      ("render", [ Alcotest.test_case "text and csv" `Quick test_render_text_and_csv ]);
+    ]

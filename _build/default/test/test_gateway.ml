@@ -1,0 +1,145 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Lowest_id = Manet_cluster.Lowest_id
+module Coverage = Manet_coverage.Coverage
+module Gateway_selection = Manet_backbone.Gateway_selection
+open Test_helpers
+
+let paper () =
+  let g = paper_graph () in
+  (g, Lowest_id.cluster g)
+
+let select g cl mode h targets =
+  Gateway_selection.select (Coverage.of_head g cl mode h) ~targets:(set_of_list targets)
+
+(* The paper's Figure 3 gateway selections (0-indexed). *)
+let test_paper_selections () =
+  let g, cl = paper () in
+  Alcotest.check nodeset "GATEWAY(0)" (set_of_list [ 5; 6 ])
+    (select g cl Coverage.Hop25 0 [ 1; 2 ]);
+  Alcotest.check nodeset "GATEWAY(1)" (set_of_list [ 5; 7 ])
+    (select g cl Coverage.Hop25 1 [ 0; 2 ]);
+  Alcotest.check nodeset "GATEWAY(2)" (set_of_list [ 6; 7; 8 ])
+    (select g cl Coverage.Hop25 2 [ 0; 1; 3 ]);
+  (* Head 3 picks 8 (not 9) because 8 also indirectly covers head 0, and
+     pulls in the pair's second hop 4 — the paper highlights exactly this
+     choice ("node 4 selects node 9, not node 10"). *)
+  Alcotest.check nodeset "GATEWAY(3)" (set_of_list [ 4; 8 ])
+    (select g cl Coverage.Hop25 3 [ 0; 2 ])
+
+let test_empty_targets () =
+  let g, cl = paper () in
+  Alcotest.check nodeset "no targets, no gateways" Nodeset.empty (select g cl Coverage.Hop25 0 [])
+
+let test_partial_targets () =
+  let g, cl = paper () in
+  (* Covering only head 2 from head 0 needs just node 6. *)
+  Alcotest.check nodeset "single target" (set_of_list [ 6 ]) (select g cl Coverage.Hop25 0 [ 2 ])
+
+let test_targets_outside_coverage_ignored () =
+  let g, cl = paper () in
+  (* Head 1's coverage is {0, 2}; target 3 is silently ignored. *)
+  Alcotest.check nodeset "foreign target ignored" (set_of_list [ 5; 7 ])
+    (select g cl Coverage.Hop25 1 [ 0; 2; 3 ])
+
+(* A custom scenario where greedy direct-coverage matters: one neighbor
+   covers two 2-hop clusterheads at once and must be preferred over two
+   single-coverage neighbors. *)
+let test_greedy_prefers_bulk_coverage () =
+  (* head 0; neighbors 4,5,6; clusterheads 1,2 both adjacent to 6, and
+     singly adjacent to 4 and 5 respectively. *)
+  let g =
+    Graph.of_edges ~n:7 [ (0, 4); (0, 5); (0, 6); (4, 1); (5, 2); (6, 1); (6, 2); (1, 3); (2, 3) ]
+  in
+  (* ids: ensure 0,1,2 are heads: 0 < 4,5,6; 1's neighbors 4,6,3: 1 is
+     lowest; 2's neighbors 5,6,3. *)
+  let cl = Lowest_id.cluster g in
+  Alcotest.(check bool) "0 head" true (Manet_cluster.Clustering.is_head cl 0);
+  Alcotest.(check bool) "1 head" true (Manet_cluster.Clustering.is_head cl 1);
+  Alcotest.(check bool) "2 head" true (Manet_cluster.Clustering.is_head cl 2);
+  Alcotest.check nodeset "picks the double connector" (set_of_list [ 6 ])
+    (select g cl Coverage.Hop25 0 [ 1; 2 ])
+
+(* Tie on direct coverage broken by indirect coverage: the paper's head-3
+   case isolated into a miniature. *)
+let test_tie_break_indirect () =
+  let g, cl = paper () in
+  let cov = Coverage.of_head g cl Coverage.Hop25 3 in
+  (* Both 8 and 9 directly cover head 2; only 8 indirectly covers 0. *)
+  let sel = Gateway_selection.select cov ~targets:(set_of_list [ 2; 0 ]) in
+  Alcotest.(check bool) "8 selected" true (Nodeset.mem 8 sel);
+  Alcotest.(check bool) "9 not selected" false (Nodeset.mem 9 sel)
+
+(* Tie on both direct and indirect coverage: lowest id wins. *)
+let test_tie_break_id () =
+  let g, cl = paper () in
+  (* From head 2, targets {3}: connectors 8 and 9 both cover it, neither
+     covers anything indirectly -> 8 (lowest id). *)
+  Alcotest.check nodeset "lowest id" (set_of_list [ 8 ]) (select g cl Coverage.Hop25 2 [ 3 ])
+
+(* Leftover 3-hop targets connected by pairs. *)
+let test_pair_fallback () =
+  let g, cl = paper () in
+  (* Head 3, target only the 3-hop head 0: phase 1 has no 2-hop targets,
+     phase 2 must pick the (8, 4) pair. *)
+  Alcotest.check nodeset "pair" (set_of_list [ 8; 4 ]) (select g cl Coverage.Hop25 3 [ 0 ])
+
+(* Selected gateways are never clusterheads, and every target ends up
+   connected to the owner within the backbone. *)
+let prop_selection_covers_targets =
+  qtest "selection connects owner to every target" ~count:60 (arb_udg ()) (fun case ->
+      let g = (sample_of case).graph in
+      let cl = Lowest_id.cluster g in
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun h ->
+              let cov = Coverage.of_head g cl mode h in
+              let targets = Coverage.covered cov in
+              let sel = Gateway_selection.select cov ~targets in
+              (* no clusterheads among gateways *)
+              Nodeset.for_all (fun v -> not (Manet_cluster.Clustering.is_head cl v)) sel
+              &&
+              (* every target reachable from h through selected nodes *)
+              let island = Nodeset.add h (Nodeset.union sel targets) in
+              let reach = Manet_graph.Connectivity.reachable_within g ~from:h island in
+              Nodeset.subset targets reach)
+            (Manet_cluster.Clustering.heads cl))
+        [ Coverage.Hop25; Coverage.Hop3 ])
+
+(* Size bound: every selection step removes at least one target and adds
+   at most a pair of gateways, so |selection| <= 2 |targets|. *)
+let prop_selection_size_bound =
+  qtest "selection size at most twice the targets" ~count:40 (arb_udg ~n_max:40 ()) (fun case ->
+      let g = (sample_of case).graph in
+      let cl = Lowest_id.cluster g in
+      List.for_all
+        (fun h ->
+          let cov = Coverage.of_head g cl Coverage.Hop25 h in
+          List.for_all
+            (fun targets ->
+              let sel = Gateway_selection.select cov ~targets in
+              Nodeset.cardinal sel <= 2 * Nodeset.cardinal targets)
+            [
+              Coverage.covered cov;
+              Nodeset.filter (fun c -> c mod 2 = 0) (Coverage.covered cov);
+            ])
+        (Manet_cluster.Clustering.heads cl))
+
+let () =
+  Alcotest.run "gateway"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "paper selections" `Quick test_paper_selections;
+          Alcotest.test_case "empty targets" `Quick test_empty_targets;
+          Alcotest.test_case "partial targets" `Quick test_partial_targets;
+          Alcotest.test_case "foreign targets ignored" `Quick test_targets_outside_coverage_ignored;
+          Alcotest.test_case "greedy bulk coverage" `Quick test_greedy_prefers_bulk_coverage;
+          Alcotest.test_case "tie-break by indirect coverage" `Quick test_tie_break_indirect;
+          Alcotest.test_case "tie-break by id" `Quick test_tie_break_id;
+          Alcotest.test_case "pair fallback" `Quick test_pair_fallback;
+          prop_selection_covers_targets;
+          prop_selection_size_bound;
+        ] );
+    ]

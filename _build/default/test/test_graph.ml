@@ -1,0 +1,444 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Bfs = Manet_graph.Bfs
+module Connectivity = Manet_graph.Connectivity
+module Dominating = Manet_graph.Dominating
+module Digraph = Manet_graph.Digraph
+module Unit_disk = Manet_graph.Unit_disk
+module Export = Manet_graph.Export
+module Point = Manet_geom.Point
+open Test_helpers
+
+(* Construction *)
+
+let test_of_edges_dedup () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1); (1, 2) ] in
+  Alcotest.(check int) "edges deduplicated" 2 (Graph.m g);
+  Alcotest.(check (array int)) "sorted neighbors" [| 0; 2 |] (Graph.neighbors g 1)
+
+let test_of_edges_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (1, 1) ]))
+
+let test_of_edges_rejects_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Graph.of_edges: endpoint out of range")
+    (fun () -> ignore (Graph.of_edges ~n:2 [ (0, 2) ]))
+
+let test_families () =
+  let k5 = Graph.complete 5 in
+  Alcotest.(check int) "K5 edges" 10 (Graph.m k5);
+  Alcotest.(check int) "K5 degree" 4 (Graph.max_degree k5);
+  let p4 = Graph.path 4 in
+  Alcotest.(check int) "P4 edges" 3 (Graph.m p4);
+  Alcotest.(check int) "P4 end degree" 1 (Graph.degree p4 0);
+  let c5 = Graph.cycle 5 in
+  Alcotest.(check int) "C5 edges" 5 (Graph.m c5);
+  Alcotest.(check bool) "C5 wraps" true (Graph.mem_edge c5 0 4);
+  let s6 = Graph.star 6 in
+  Alcotest.(check int) "star center degree" 5 (Graph.degree s6 0);
+  Alcotest.(check int) "star leaf degree" 1 (Graph.degree s6 3);
+  let e = Graph.empty 4 in
+  Alcotest.(check int) "empty m" 0 (Graph.m e);
+  Alcotest.(check int) "empty n" 4 (Graph.n e)
+
+let test_cycle_too_small () =
+  Alcotest.check_raises "cycle 2" (Invalid_argument "Graph.cycle: need at least 3 nodes")
+    (fun () -> ignore (Graph.cycle 2))
+
+let test_mem_edge () =
+  let g = paper_graph () in
+  Alcotest.(check bool) "present" true (Graph.mem_edge g 0 4);
+  Alcotest.(check bool) "symmetric" true (Graph.mem_edge g 4 0);
+  Alcotest.(check bool) "absent" false (Graph.mem_edge g 0 9);
+  Alcotest.(check bool) "self" false (Graph.mem_edge g 3 3)
+
+let test_edges_listing () =
+  let g = Graph.of_edges ~n:4 [ (2, 1); (0, 3); (0, 1) ] in
+  Alcotest.(check (list (pair int int))) "sorted u<v" [ (0, 1); (0, 3); (1, 2) ] (Graph.edges g)
+
+let test_degrees () =
+  let g = paper_graph () in
+  Alcotest.(check int) "deg 2" 4 (Graph.degree g 2);
+  Alcotest.(check int) "max degree" 4 (Graph.max_degree g);
+  Alcotest.(check (float 1e-9)) "avg degree" (2. *. 12. /. 10.) (Graph.avg_degree g)
+
+let test_neighborhoods () =
+  let g = paper_graph () in
+  Alcotest.check nodeset "open" (set_of_list [ 0; 8 ]) (Graph.open_neighborhood g 4);
+  Alcotest.check nodeset "closed" (set_of_list [ 0; 4; 8 ]) (Graph.closed_neighborhood g 4)
+
+let test_induced () =
+  let g = paper_graph () in
+  let sub, back = Graph.induced g (set_of_list [ 0; 4; 8; 2 ]) in
+  Alcotest.(check int) "size" 4 (Graph.n sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 2; 4; 8 |] back;
+  (* edges among {0,2,4,8}: (0,4),(4,8),(2,8) *)
+  Alcotest.(check int) "edges" 3 (Graph.m sub)
+
+let test_equal () =
+  let a = Graph.of_edges ~n:3 [ (0, 1) ] in
+  let b = Graph.of_edges ~n:3 [ (1, 0) ] in
+  let c = Graph.of_edges ~n:3 [ (1, 2) ] in
+  Alcotest.(check bool) "orientation-insensitive" true (Graph.equal a b);
+  Alcotest.(check bool) "different" false (Graph.equal a c)
+
+(* BFS *)
+
+let test_distances_path () =
+  let g = Graph.path 5 in
+  Alcotest.(check (array int)) "chain distances" [| 0; 1; 2; 3; 4 |] (Bfs.distances g ~source:0)
+
+let test_distances_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let d = Bfs.distances g ~source:0 in
+  Alcotest.(check int) "reachable" 1 d.(1);
+  Alcotest.(check bool) "unreachable marked" true (d.(2) = max_int && d.(3) = max_int);
+  Alcotest.(check (option int)) "hop_distance none" None (Bfs.hop_distance g 0 3)
+
+let test_distances_upto () =
+  let g = Graph.path 6 in
+  let d = Bfs.distances_upto g ~source:0 ~limit:2 in
+  Alcotest.(check int) "within limit" 2 d.(2);
+  Alcotest.(check bool) "beyond limit untouched" true (d.(3) = max_int)
+
+let test_k_hop_and_ring () =
+  let g = paper_graph () in
+  Alcotest.check nodeset "N^1(3)" (set_of_list [ 3; 8; 9 ]) (Bfs.k_hop g ~source:3 ~k:1);
+  Alcotest.check nodeset "N^2(3)" (set_of_list [ 2; 3; 4; 8; 9 ]) (Bfs.k_hop g ~source:3 ~k:2);
+  Alcotest.check nodeset "ring 2 of 3" (set_of_list [ 2; 4 ]) (Bfs.ring g ~source:3 ~k:2);
+  Alcotest.check nodeset "ring 0" (set_of_list [ 3 ]) (Bfs.ring g ~source:3 ~k:0)
+
+let test_eccentricity () =
+  let g = Graph.path 5 in
+  Alcotest.(check int) "end" 4 (Bfs.eccentricity g 0);
+  Alcotest.(check int) "middle" 2 (Bfs.eccentricity g 2)
+
+let test_bfs_order () =
+  let g = paper_graph () in
+  (match Bfs.bfs_order g ~source:0 with
+  | s :: rest ->
+    Alcotest.(check int) "starts at source" 0 s;
+    Alcotest.(check int) "visits all (connected)" 9 (List.length rest)
+  | [] -> Alcotest.fail "empty order");
+  let g2 = Graph.of_edges ~n:4 [ (0, 1) ] in
+  Alcotest.(check (list int)) "only component" [ 0; 1 ] (Bfs.bfs_order g2 ~source:0)
+
+let prop_khop_matches_distances =
+  qtest "k_hop agrees with distances" ~count:50 (arb_udg ~n_max:40 ()) (fun case ->
+      let g = (sample_of case).graph in
+      let dist = Bfs.distances g ~source:0 in
+      let k = 3 in
+      let expected = ref Nodeset.empty in
+      Array.iteri (fun v d -> if d <= k then expected := Nodeset.add v !expected) dist;
+      Nodeset.equal !expected (Bfs.k_hop g ~source:0 ~k))
+
+(* Connectivity *)
+
+let test_components () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (4, 5) ] in
+  let comp, k = Connectivity.components g in
+  Alcotest.(check int) "three components" 3 k;
+  Alcotest.(check bool) "same component" true (comp.(0) = comp.(2));
+  Alcotest.(check bool) "different" true (comp.(0) <> comp.(4));
+  Alcotest.(check (list int)) "sizes sorted" [ 3; 2; 1 ] (Connectivity.component_sizes g)
+
+let test_is_connected () =
+  Alcotest.(check bool) "paper graph" true (Connectivity.is_connected (paper_graph ()));
+  Alcotest.(check bool) "empty graph" true (Connectivity.is_connected (Graph.empty 0));
+  Alcotest.(check bool) "single" true (Connectivity.is_connected (Graph.empty 1));
+  Alcotest.(check bool) "two isolated" false (Connectivity.is_connected (Graph.empty 2))
+
+let test_connected_subset () =
+  let g = paper_graph () in
+  Alcotest.(check bool) "backbone subset" true
+    (Connectivity.is_connected_subset g (set_of_list [ 0; 5; 1 ]));
+  Alcotest.(check bool) "broken subset" false
+    (Connectivity.is_connected_subset g (set_of_list [ 0; 1 ]));
+  Alcotest.(check bool) "empty subset" true (Connectivity.is_connected_subset g Nodeset.empty);
+  Alcotest.(check bool) "singleton" true (Connectivity.is_connected_subset g (set_of_list [ 7 ]))
+
+let test_reachable_within () =
+  let g = Graph.path 5 in
+  Alcotest.check nodeset "blocked by gap" (set_of_list [ 0; 1 ])
+    (Connectivity.reachable_within g ~from:0 (set_of_list [ 0; 1; 3; 4 ]));
+  Alcotest.check nodeset "from outside set" Nodeset.empty
+    (Connectivity.reachable_within g ~from:2 (set_of_list [ 0; 1 ]))
+
+(* Dominating sets *)
+
+let test_dominating () =
+  let g = paper_graph () in
+  Alcotest.(check bool) "heads dominate" true
+    (Dominating.is_dominating g (set_of_list [ 0; 1; 2; 3 ]));
+  Alcotest.(check bool) "heads are independent" true
+    (Dominating.is_independent g (set_of_list [ 0; 1; 2; 3 ]));
+  Alcotest.(check bool) "heads alone are not a CDS" false
+    (Dominating.is_cds g (set_of_list [ 0; 1; 2; 3 ]));
+  Alcotest.(check bool) "backbone is a CDS" true
+    (Dominating.is_cds g (set_of_list [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]))
+
+let test_undominated () =
+  let g = Graph.path 5 in
+  Alcotest.check nodeset "far end exposed" (set_of_list [ 3; 4 ])
+    (Dominating.undominated g (set_of_list [ 1 ]))
+
+let test_empty_set_domination () =
+  Alcotest.(check bool) "empty set on empty graph" true
+    (Dominating.is_cds (Graph.empty 0) Nodeset.empty);
+  Alcotest.(check bool) "empty set on nonempty graph" false
+    (Dominating.is_cds (Graph.empty 1) Nodeset.empty)
+
+let test_domination_lower_bound () =
+  Alcotest.(check int) "star" 1 (Dominating.domination_number_lower_bound (Graph.star 8));
+  Alcotest.(check int) "path" 2 (Dominating.domination_number_lower_bound (Graph.path 5));
+  Alcotest.(check int) "empty" 0 (Dominating.domination_number_lower_bound (Graph.empty 0))
+
+(* Digraph / SCC *)
+
+let test_scc_cycle () =
+  let d = Digraph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "cycle strongly connected" true (Digraph.is_strongly_connected d);
+  Alcotest.(check int) "one component" 1 (snd (Digraph.scc d))
+
+let test_scc_dag () =
+  let d = Digraph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "chain not strong" false (Digraph.is_strongly_connected d);
+  Alcotest.(check int) "three components" 3 (snd (Digraph.scc d))
+
+let test_scc_mixed () =
+  (* Two 2-cycles bridged one way: {0,1} and {2,3}. *)
+  let d = Digraph.of_edges ~n:4 [ (0, 1); (1, 0); (2, 3); (3, 2); (1, 2) ] in
+  let comp, k = Digraph.scc d in
+  Alcotest.(check int) "two components" 2 k;
+  Alcotest.(check bool) "0,1 together" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "2,3 together" true (comp.(2) = comp.(3));
+  Alcotest.(check bool) "separate" true (comp.(0) <> comp.(2))
+
+let test_scc_deep_chain () =
+  (* Long path: the iterative Tarjan must not blow the stack. *)
+  let n = 50_000 in
+  let d = Digraph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  Alcotest.(check int) "n components" n (snd (Digraph.scc d))
+
+let test_scc_big_cycle () =
+  let n = 50_000 in
+  let d = Digraph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1))) in
+  Alcotest.(check bool) "big ring strong" true (Digraph.is_strongly_connected d)
+
+let test_digraph_misc () =
+  let d = Digraph.of_edges ~n:3 [ (0, 1); (0, 1); (2, 2) ] in
+  Alcotest.(check int) "dedup arcs" 2 (Digraph.m d);
+  Alcotest.(check bool) "mem arc" true (Digraph.mem_arc d 0 1);
+  Alcotest.(check bool) "not reverse" false (Digraph.mem_arc d 1 0);
+  let r = Digraph.reverse d in
+  Alcotest.(check bool) "reversed" true (Digraph.mem_arc r 1 0);
+  Alcotest.(check bool) "self loop survives reverse" true (Digraph.mem_arc r 2 2);
+  Alcotest.(check bool) "single node strong" true
+    (Digraph.is_strongly_connected (Digraph.of_edges ~n:1 []))
+
+let prop_scc_mutual_reachability =
+  qtest "scc = mutual reachability classes" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 2 25))
+    (fun (seed, n) ->
+      let rng = Manet_rng.Rng.create ~seed in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && Manet_rng.Rng.float rng 1. < 0.15 then edges := (u, v) :: !edges
+        done
+      done;
+      let d = Digraph.of_edges ~n !edges in
+      let comp, _ = Digraph.scc d in
+      let reach s =
+        let seen = Array.make n false in
+        let q = Queue.create () in
+        seen.(s) <- true;
+        Queue.add s q;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          Array.iter
+            (fun v ->
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                Queue.add v q
+              end)
+            (Digraph.successors d u)
+        done;
+        seen
+      in
+      let reachability = Array.init n reach in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let mutual = reachability.(u).(v) && reachability.(v).(u) in
+          if mutual <> (comp.(u) = comp.(v)) then ok := false
+        done
+      done;
+      !ok)
+
+(* Unit disk *)
+
+let test_unit_disk_simple () =
+  let pts = [| Point.make ~x:0. ~y:0.; Point.make ~x:1. ~y:0.; Point.make ~x:5. ~y:0. |] in
+  let g = Unit_disk.build ~radius:1.5 pts in
+  Alcotest.(check bool) "close pair" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "far pair" false (Graph.mem_edge g 1 2)
+
+let test_unit_disk_strict () =
+  let pts = [| Point.make ~x:0. ~y:0.; Point.make ~x:2. ~y:0. |] in
+  let g = Unit_disk.build ~radius:2. pts in
+  Alcotest.(check int) "distance exactly r is not a link" 0 (Graph.m g)
+
+let prop_unit_disk_matches_brute =
+  qtest "grid construction = brute force" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 2 80))
+    (fun (seed, n) ->
+      let rng = Manet_rng.Rng.create ~seed in
+      let pts =
+        Array.init n (fun _ ->
+            Point.make ~x:(Manet_rng.Rng.float rng 100.) ~y:(Manet_rng.Rng.float rng 100.))
+      in
+      let radius = 5. +. Manet_rng.Rng.float rng 30. in
+      Graph.equal (Unit_disk.build ~radius pts) (Unit_disk.build_brute_force ~radius pts))
+
+let test_unit_disk_toroidal () =
+  let pts = [| Point.make ~x:1. ~y:5.; Point.make ~x:9. ~y:5.; Point.make ~x:5. ~y:5. |] in
+  let g = Unit_disk.build_toroidal ~radius:3. ~width:10. ~height:10. pts in
+  (* 0 and 1 are 8 apart in the plane but 2 apart on the torus. *)
+  Alcotest.(check bool) "wrapped link" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "plain non-link unchanged" false (Graph.mem_edge g 0 2)
+
+let prop_toroidal_supergraph =
+  qtest "toroidal graph contains the confined graph" ~count:30 (arb_udg ~n_max:40 ())
+    (fun case ->
+      let s = sample_of case in
+      let t =
+        Unit_disk.build_toroidal ~radius:s.radius ~width:100. ~height:100. s.points
+      in
+      List.for_all (fun (u, v) -> Graph.mem_edge t u v) (Graph.edges s.graph))
+
+let test_radius_for_degree_roundtrip () =
+  let r = Unit_disk.radius_for_degree ~n:100 ~degree:6. ~width:100. ~height:100. in
+  let d = Unit_disk.expected_degree ~n:100 ~radius:r ~width:100. ~height:100. in
+  Alcotest.(check (float 1e-9)) "roundtrip" 6. d
+
+(* Export *)
+
+let test_export_dot () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let dot =
+    Export.to_dot ~name:"t" ~highlight:(set_of_list [ 0 ]) ~secondary:(set_of_list [ 1 ]) g
+  in
+  Alcotest.(check bool) "has edge" true (contains dot "0 -- 1");
+  Alcotest.(check bool) "highlight styling" true (contains dot "fillcolor=black");
+  Alcotest.(check bool) "secondary styling" true (contains dot "fillcolor=gray")
+
+let test_export_csv () =
+  let g = Graph.of_edges ~n:3 [ (0, 2); (0, 1) ] in
+  Alcotest.(check string) "csv" "u,v\n0,1\n0,2\n" (Export.to_edge_csv g)
+
+let test_export_adjacency () =
+  let g = Graph.of_edges ~n:2 [ (0, 1) ] in
+  Alcotest.(check string) "adjacency" "0: 1\n1: 0\n" (Export.to_adjacency_lines g)
+
+let test_export_digraph () =
+  let d = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  Alcotest.(check bool) "digraph dot" true (contains (Export.digraph_to_dot d) "0 -> 1")
+
+let test_import_edge_csv_roundtrip () =
+  let g = paper_graph () in
+  let g2 = Export.of_edge_csv (Export.to_edge_csv g) in
+  Alcotest.(check bool) "roundtrip" true (Graph.equal g g2)
+
+let test_import_edge_csv_forms () =
+  let g = Export.of_edge_csv "0,1\n\n2 , 1 \n" in
+  Alcotest.(check int) "nodes from max id" 3 (Graph.n g);
+  Alcotest.(check int) "edges" 2 (Graph.m g);
+  (match Export.of_edge_csv "0,1\nbogus" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  Alcotest.(check int) "empty text" 0 (Graph.n (Export.of_edge_csv ""))
+
+(* Nodeset *)
+
+let test_nodeset_helpers () =
+  let s = Nodeset.of_indicator [| true; false; true |] in
+  Alcotest.check nodeset "of_indicator" (set_of_list [ 0; 2 ]) s;
+  Alcotest.(check (array bool)) "to_indicator roundtrip" [| true; false; true |]
+    (Nodeset.to_indicator ~n:3 s);
+  Alcotest.check nodeset "range" (set_of_list [ 0; 1; 2 ]) (Nodeset.range 3);
+  Alcotest.check_raises "to_indicator range check"
+    (Invalid_argument "Nodeset.to_indicator: element out of range") (fun () ->
+      ignore (Nodeset.to_indicator ~n:1 s))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "dedup and sorting" `Quick test_of_edges_dedup;
+          Alcotest.test_case "rejects self-loops" `Quick test_of_edges_rejects_self_loop;
+          Alcotest.test_case "rejects out-of-range" `Quick test_of_edges_rejects_out_of_range;
+          Alcotest.test_case "standard families" `Quick test_families;
+          Alcotest.test_case "cycle minimum size" `Quick test_cycle_too_small;
+          Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+          Alcotest.test_case "edge listing" `Quick test_edges_listing;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "neighborhoods" `Quick test_neighborhoods;
+          Alcotest.test_case "induced subgraph" `Quick test_induced;
+          Alcotest.test_case "structural equality" `Quick test_equal;
+          Alcotest.test_case "nodeset helpers" `Quick test_nodeset_helpers;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "path distances" `Quick test_distances_path;
+          Alcotest.test_case "disconnected distances" `Quick test_distances_disconnected;
+          Alcotest.test_case "bounded exploration" `Quick test_distances_upto;
+          Alcotest.test_case "k-hop and rings" `Quick test_k_hop_and_ring;
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+          Alcotest.test_case "bfs order" `Quick test_bfs_order;
+          prop_khop_matches_distances;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "is_connected" `Quick test_is_connected;
+          Alcotest.test_case "connected subsets" `Quick test_connected_subset;
+          Alcotest.test_case "reachable within" `Quick test_reachable_within;
+        ] );
+      ( "dominating",
+        [
+          Alcotest.test_case "paper-graph domination facts" `Quick test_dominating;
+          Alcotest.test_case "undominated witnesses" `Quick test_undominated;
+          Alcotest.test_case "empty set conventions" `Quick test_empty_set_domination;
+          Alcotest.test_case "lower bound" `Quick test_domination_lower_bound;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "scc of a cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "scc of a dag" `Quick test_scc_dag;
+          Alcotest.test_case "scc mixed" `Quick test_scc_mixed;
+          Alcotest.test_case "deep chain (no stack overflow)" `Quick test_scc_deep_chain;
+          Alcotest.test_case "big cycle" `Quick test_scc_big_cycle;
+          Alcotest.test_case "digraph misc" `Quick test_digraph_misc;
+          prop_scc_mutual_reachability;
+        ] );
+      ( "unit_disk",
+        [
+          Alcotest.test_case "simple" `Quick test_unit_disk_simple;
+          Alcotest.test_case "strict threshold" `Quick test_unit_disk_strict;
+          prop_unit_disk_matches_brute;
+          Alcotest.test_case "toroidal wrap" `Quick test_unit_disk_toroidal;
+          prop_toroidal_supergraph;
+          Alcotest.test_case "radius/degree roundtrip" `Quick test_radius_for_degree_roundtrip;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "dot" `Quick test_export_dot;
+          Alcotest.test_case "csv" `Quick test_export_csv;
+          Alcotest.test_case "adjacency" `Quick test_export_adjacency;
+          Alcotest.test_case "digraph dot" `Quick test_export_digraph;
+          Alcotest.test_case "edge csv roundtrip" `Quick test_import_edge_csv_roundtrip;
+          Alcotest.test_case "edge csv forms" `Quick test_import_edge_csv_forms;
+        ] );
+    ]

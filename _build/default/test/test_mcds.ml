@@ -1,0 +1,113 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Dominating = Manet_graph.Dominating
+module Greedy = Manet_mcds.Greedy_cds
+module Exact = Manet_mcds.Exact
+open Test_helpers
+
+(* Greedy CDS *)
+
+let test_greedy_families () =
+  Alcotest.(check int) "star center" 1 (Nodeset.cardinal (Greedy.build (Graph.star 9)));
+  Alcotest.(check int) "complete" 1 (Nodeset.cardinal (Greedy.build (Graph.complete 7)));
+  Alcotest.(check int) "single node" 1 (Nodeset.cardinal (Greedy.build (Graph.empty 1)));
+  Alcotest.(check int) "two nodes" 1 (Nodeset.cardinal (Greedy.build (Graph.path 2)));
+  (* Path interior: exactly n-2 for a chain. *)
+  Alcotest.check nodeset "path interior" (set_of_list [ 1; 2; 3 ]) (Greedy.build (Graph.path 5))
+
+let test_greedy_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Greedy_cds.build: empty graph") (fun () ->
+      ignore (Greedy.build (Graph.empty 0)));
+  Alcotest.check_raises "disconnected" (Invalid_argument "Greedy_cds.build: disconnected graph")
+    (fun () -> ignore (Greedy.build (Graph.empty 2)))
+
+let prop_greedy_is_cds =
+  qtest "greedy result is a CDS" ~count:100 (arb_udg ()) (fun case ->
+      let g = (sample_of case).graph in
+      Dominating.is_cds g (Greedy.build g))
+
+(* Exact MCDS *)
+
+let test_exact_families () =
+  Alcotest.(check int) "star" 1 (Exact.size (Graph.star 9));
+  Alcotest.(check int) "complete" 1 (Exact.size (Graph.complete 8));
+  Alcotest.(check int) "path 5: interior" 3 (Exact.size (Graph.path 5));
+  Alcotest.(check int) "path 2" 1 (Exact.size (Graph.path 2));
+  (* Cycle C6: MCDS is 4 (n-2 for cycles). *)
+  Alcotest.(check int) "cycle 6" 4 (Exact.size (Graph.cycle 6));
+  Alcotest.(check int) "single" 1 (Exact.size (Graph.empty 1))
+
+let test_exact_petersen () =
+  (* The Petersen graph has connected domination number 4. *)
+  let outer = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let spokes = [ (0, 5); (1, 6); (2, 7); (3, 8); (4, 9) ] in
+  let inner = [ (5, 7); (7, 9); (9, 6); (6, 8); (8, 5) ] in
+  let g = Graph.of_edges ~n:10 (outer @ spokes @ inner) in
+  Alcotest.(check int) "petersen MCDS" 4 (Exact.size g)
+
+let test_exact_validation () =
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Exact.build: graph too large for exact search") (fun () ->
+      ignore (Exact.build (Graph.path 30)));
+  Alcotest.check_raises "disconnected" (Invalid_argument "Exact.build: disconnected graph")
+    (fun () -> ignore (Exact.build (Graph.empty 2)))
+
+let prop_exact_is_cds_and_minimal =
+  qtest "exact result is a CDS no larger than greedy" ~count:30
+    (arb_udg ~n_min:5 ~n_max:14 ~ds:[ 4.; 6. ] ()) (fun case ->
+      let g = (sample_of case).graph in
+      let exact = Exact.build g in
+      let greedy = Greedy.build g in
+      Dominating.is_cds g exact && Nodeset.cardinal exact <= Nodeset.cardinal greedy)
+
+let prop_exact_truly_minimal_brute =
+  (* Cross-check against pure brute force on very small graphs. *)
+  qtest "exact = brute-force minimum" ~count:15 (arb_udg ~n_min:4 ~n_max:9 ~ds:[ 4. ] ())
+    (fun case ->
+      let g = (sample_of case).graph in
+      let n = Graph.n g in
+      let best = ref max_int in
+      for mask = 1 to (1 lsl n) - 1 do
+        let s = ref Nodeset.empty in
+        for v = 0 to n - 1 do
+          if mask land (1 lsl v) <> 0 then s := Nodeset.add v !s
+        done;
+        if Nodeset.cardinal !s < !best && Dominating.is_cds g !s then
+          best := Nodeset.cardinal !s
+      done;
+      Exact.size g = !best)
+
+(* Approximation-ratio machinery sanity: the backbone sizes stay within a
+   constant multiple of the exact MCDS on small unit-disk graphs (the
+   paper's constant-ratio claim, checked loosely at 15x to keep the test
+   robust while still catching regressions to linear blowup). *)
+let prop_backbone_ratio_bounded =
+  qtest "static backbone within 15x MCDS" ~count:20 (arb_udg ~n_min:8 ~n_max:14 ~ds:[ 6. ] ())
+    (fun case ->
+      let g = (sample_of case).graph in
+      let mcds = Exact.size g in
+      let s =
+        Manet_backbone.Static_backbone.size
+          (Manet_backbone.Static_backbone.build g Manet_coverage.Coverage.Hop25)
+      in
+      s <= 15 * mcds)
+
+let () =
+  Alcotest.run "mcds"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "families" `Quick test_greedy_families;
+          Alcotest.test_case "validation" `Quick test_greedy_validation;
+          prop_greedy_is_cds;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "families" `Quick test_exact_families;
+          Alcotest.test_case "petersen" `Quick test_exact_petersen;
+          Alcotest.test_case "validation" `Quick test_exact_validation;
+          prop_exact_is_cds_and_minimal;
+          prop_exact_truly_minimal_brute;
+        ] );
+      ("ratio", [ prop_backbone_ratio_bounded ]);
+    ]

@@ -1,0 +1,58 @@
+module Hello = Manet_proto.Hello
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Bfs = Manet_graph.Bfs
+open Test_helpers
+
+let test_neighbors_match_graph () =
+  let g = paper_graph () in
+  let t = Hello.discover g in
+  for v = 0 to Graph.n g - 1 do
+    Alcotest.check nodeset
+      (Printf.sprintf "N(%d)" v)
+      (Graph.open_neighborhood g v)
+      t.neighbors.(v)
+  done
+
+let test_two_hop_matches_bfs () =
+  let g = paper_graph () in
+  let t = Hello.discover g in
+  for v = 0 to Graph.n g - 1 do
+    let expected = Nodeset.remove v (Bfs.k_hop g ~source:v ~k:2) in
+    Alcotest.check nodeset (Printf.sprintf "N2(%d)" v) expected t.two_hop.(v)
+  done
+
+let test_transmission_count () =
+  let g = paper_graph () in
+  Alcotest.(check int) "2n transmissions" 20 (Hello.transmissions g)
+
+let test_isolated_node () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  let t = Hello.discover g in
+  Alcotest.check nodeset "isolated has no neighbors" Nodeset.empty t.neighbors.(2);
+  Alcotest.check nodeset "isolated two-hop" Nodeset.empty t.two_hop.(2)
+
+let prop_hello_matches_graph =
+  qtest "hello discovery = graph adjacency" ~count:40 (arb_udg ~n_max:40 ()) (fun case ->
+      let g = (sample_of case).graph in
+      let t = Hello.discover g in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        if not (Nodeset.equal t.neighbors.(v) (Graph.open_neighborhood g v)) then ok := false;
+        let expected = Nodeset.remove v (Bfs.k_hop g ~source:v ~k:2) in
+        if not (Nodeset.equal t.two_hop.(v) expected) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "hello",
+        [
+          Alcotest.test_case "1-hop tables" `Quick test_neighbors_match_graph;
+          Alcotest.test_case "2-hop tables" `Quick test_two_hop_matches_bfs;
+          Alcotest.test_case "message count" `Quick test_transmission_count;
+          Alcotest.test_case "isolated node" `Quick test_isolated_node;
+          prop_hello_matches_graph;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+module Rng = Manet_rng.Rng
+module Dist = Manet_rng.Dist
+
+let test_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  let va = Rng.next_int64 a in
+  let vb = Rng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  ignore (Rng.next_int64 a);
+  let va2 = Rng.next_int64 a and vb2 = Rng.next_int64 b in
+  Alcotest.(check bool) "desynchronized after extra draw" true (va2 <> vb2)
+
+let test_split_independent () =
+  let a = Rng.create ~seed:9 in
+  let child = Rng.split a in
+  (* Drawing more from the child must not change the parent's stream. *)
+  let parent_probe = Rng.copy a in
+  for _ = 1 to 50 do
+    ignore (Rng.next_int64 child)
+  done;
+  Alcotest.(check int64) "parent unaffected by child draws" (Rng.next_int64 parent_probe)
+    (Rng.next_int64 a)
+
+let test_int_range () =
+  let g = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of range: %d" v
+  done
+
+let test_int_covers_range () =
+  let g = Rng.create ~seed:11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 2_000 do
+    seen.(Rng.int g 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 values appear" true (Array.for_all Fun.id seen)
+
+let test_int_uniformity () =
+  (* Chi-square-ish sanity: each of 10 buckets within 3 sigma of n/10. *)
+  let g = Rng.create ~seed:13 in
+  let n = 100_000 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to n do
+    let v = Rng.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expect = float_of_int n /. 10. in
+  let sigma = sqrt (expect *. 0.9) in
+  Array.iteri
+    (fun i c ->
+      if Float.abs (float_of_int c -. expect) > 4. *. sigma then
+        Alcotest.failf "bucket %d count %d too far from %f" i c expect)
+    counts
+
+let test_int_invalid () =
+  let g = Rng.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_int_in () =
+  let g = Rng.create ~seed:3 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in g ~lo:(-5) ~hi:5 in
+    if v < -5 || v > 5 then Alcotest.failf "int_in out of range: %d" v
+  done;
+  (* Single-point range is fine. *)
+  Alcotest.(check int) "degenerate range" 4 (Rng.int_in g ~lo:4 ~hi:4)
+
+let test_float_range () =
+  let g = Rng.create ~seed:21 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float g 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "Rng.float out of range: %f" v
+  done
+
+let test_float_mean () =
+  let g = Rng.create ~seed:23 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let g = Rng.create ~seed:27 in
+  let n = 20_000 in
+  let trues = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool g then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "booleans balanced" true (Float.abs (ratio -. 0.5) < 0.02)
+
+(* Distributions *)
+
+let test_uniform_range () =
+  let g = Rng.create ~seed:31 in
+  for _ = 1 to 5_000 do
+    let v = Dist.uniform g ~lo:(-3.) ~hi:7. in
+    if v < -3. || v >= 7. then Alcotest.failf "uniform out of range: %f" v
+  done
+
+let test_exponential_properties () =
+  let g = Rng.create ~seed:33 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Dist.exponential g ~rate:2. in
+    if v < 0. then Alcotest.failf "exponential negative: %f" v;
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let g = Rng.create ~seed:35 in
+  let n = 50_000 in
+  let s = Manet_stats.Summary.create () in
+  for _ = 1 to n do
+    Manet_stats.Summary.add s (Dist.gaussian g ~mean:3. ~stddev:2.)
+  done;
+  Alcotest.(check bool) "mean" true (Float.abs (Manet_stats.Summary.mean s -. 3.) < 0.05);
+  Alcotest.(check bool) "stddev" true (Float.abs (Manet_stats.Summary.stddev s -. 2.) < 0.05)
+
+let test_shuffle_permutes () =
+  let g = Rng.create ~seed:41 in
+  let a = Array.init 50 Fun.id in
+  Dist.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually moved something" true (a <> Array.init 50 Fun.id)
+
+let test_shuffle_uniform_small () =
+  (* All 6 permutations of a 3-array should appear with ~equal frequency. *)
+  let g = Rng.create ~seed:43 in
+  let counts = Hashtbl.create 6 in
+  let n = 12_000 in
+  for _ = 1 to n do
+    let a = [| 0; 1; 2 |] in
+    Dist.shuffle_in_place g a;
+    let key = Array.to_list a in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "six permutations" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      if Float.abs (float_of_int c -. 2000.) > 300. then
+        Alcotest.failf "permutation frequency %d too skewed" c)
+    counts
+
+let test_sample_distinct () =
+  let g = Rng.create ~seed:47 in
+  for _ = 1 to 200 do
+    let l = Dist.sample_distinct g ~n:10 ~bound:30 in
+    Alcotest.(check int) "ten values" 10 (List.length l);
+    Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare l));
+    List.iter (fun v -> if v < 0 || v >= 30 then Alcotest.failf "out of bound %d" v) l
+  done;
+  Alcotest.(check (list int)) "n = bound is the full range"
+    (List.init 5 Fun.id)
+    (Dist.sample_distinct g ~n:5 ~bound:5)
+
+let test_choose () =
+  let g = Rng.create ~seed:51 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Dist.choose g a in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) a)
+  done
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+          Alcotest.test_case "int_in range" `Quick test_int_in;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "exponential mean, positivity" `Quick test_exponential_properties;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "shuffle uniform on 3 elements" `Quick test_shuffle_uniform_small;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "choose membership" `Quick test_choose;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+module Summary = Manet_stats.Summary
+module Confidence = Manet_stats.Confidence
+module Histogram = Manet_stats.Histogram
+
+let feq = Alcotest.float 1e-9
+let feq6 = Alcotest.float 1e-6
+
+let test_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.check feq "mean" 0. (Summary.mean s);
+  Alcotest.check feq "variance" 0. (Summary.variance s);
+  Alcotest.check feq "ci" 0. (Summary.ci_half_width s ~z:2.576)
+
+let test_single () =
+  let s = Summary.create () in
+  Summary.add s 42.;
+  Alcotest.check feq "mean" 42. (Summary.mean s);
+  Alcotest.check feq "variance with one obs" 0. (Summary.variance s);
+  Alcotest.check feq "min" 42. (Summary.min_value s);
+  Alcotest.check feq "max" 42. (Summary.max_value s)
+
+let test_known_values () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.check feq "mean" 5. (Summary.mean s);
+  (* sample variance with n-1 = 32 / 7 *)
+  Alcotest.check feq6 "variance" (32. /. 7.) (Summary.variance s);
+  Alcotest.check feq "min" 2. (Summary.min_value s);
+  Alcotest.check feq "max" 9. (Summary.max_value s)
+
+let test_matches_naive_two_pass () =
+  let rng = Manet_rng.Rng.create ~seed:3 in
+  let xs = Array.init 1000 (fun _ -> Manet_rng.Rng.float rng 100. -. 50.) in
+  let s = Summary.create () in
+  Array.iter (Summary.add s) xs;
+  let n = float_of_int (Array.length xs) in
+  let mean = Array.fold_left ( +. ) 0. xs /. n in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.) in
+  Alcotest.(check (float 1e-6)) "mean matches" mean (Summary.mean s);
+  Alcotest.(check (float 1e-6)) "variance matches" var (Summary.variance s)
+
+let test_constant_stream () =
+  let s = Summary.create () in
+  for _ = 1 to 100 do
+    Summary.add s 3.14
+  done;
+  Alcotest.check feq6 "zero variance" 0. (Summary.variance s);
+  Alcotest.check feq6 "zero ci" 0. (Summary.ci_half_width s ~z:2.576)
+
+let test_ci_shrinks () =
+  let rng = Manet_rng.Rng.create ~seed:5 in
+  let s = Summary.create () in
+  for _ = 1 to 100 do
+    Summary.add s (Manet_rng.Rng.float rng 1.)
+  done;
+  let ci100 = Summary.ci_half_width s ~z:1.96 in
+  for _ = 1 to 900 do
+    Summary.add s (Manet_rng.Rng.float rng 1.)
+  done;
+  let ci1000 = Summary.ci_half_width s ~z:1.96 in
+  Alcotest.(check bool) "ci shrinks with samples" true (ci1000 < ci100)
+
+let test_merge () =
+  let rng = Manet_rng.Rng.create ~seed:7 in
+  let xs = Array.init 500 (fun _ -> Manet_rng.Rng.float rng 10.) in
+  let all = Summary.create () and a = Summary.create () and b = Summary.create () in
+  Array.iteri
+    (fun i x ->
+      Summary.add all x;
+      Summary.add (if i mod 3 = 0 then a else b) x)
+    xs;
+  let merged = Summary.merge a b in
+  Alcotest.(check int) "count" (Summary.count all) (Summary.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Summary.mean all) (Summary.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Summary.variance all) (Summary.variance merged);
+  Alcotest.(check (float 1e-9)) "min" (Summary.min_value all) (Summary.min_value merged)
+
+let test_merge_with_empty () =
+  let a = Summary.create () in
+  List.iter (Summary.add a) [ 1.; 2.; 3. ];
+  let e = Summary.create () in
+  Alcotest.(check (float 1e-9)) "merge right empty" (Summary.mean a)
+    (Summary.mean (Summary.merge a e));
+  Alcotest.(check (float 1e-9)) "merge left empty" (Summary.mean a)
+    (Summary.mean (Summary.merge e a))
+
+(* Confidence driver *)
+
+let test_run_until_constant () =
+  let o = Confidence.run_until (fun _ -> 5.) in
+  Alcotest.(check bool) "converged" true o.converged;
+  Alcotest.(check int) "stops at floor" 30 (Summary.count o.summary)
+
+let test_run_until_noisy_converges () =
+  let rng = Manet_rng.Rng.create ~seed:11 in
+  let o =
+    Confidence.run_until ~rel_precision:0.1 (fun _ -> 10. +. Manet_rng.Rng.float rng 2.)
+  in
+  Alcotest.(check bool) "converged" true o.converged;
+  let hw = Summary.ci_half_width o.summary ~z:Confidence.z99 in
+  Alcotest.(check bool) "precision satisfied" true (hw <= 0.1 *. Summary.mean o.summary)
+
+let test_run_until_cap () =
+  (* Enormous variance relative to the mean: the cap must stop the run and
+     report non-convergence. *)
+  let rng = Manet_rng.Rng.create ~seed:13 in
+  let o =
+    Confidence.run_until ~rel_precision:0.0001 ~max_samples:50 (fun _ ->
+        Manet_rng.Rng.float rng 1000.)
+  in
+  Alcotest.(check int) "hit the cap" 50 (Summary.count o.summary);
+  Alcotest.(check bool) "not converged" false o.converged
+
+let test_run_until_counter () =
+  let calls = ref [] in
+  let _ = Confidence.run_until ~min_samples:3 ~max_samples:3 (fun i -> calls := i :: !calls; 1.) in
+  Alcotest.(check (list int)) "indices in order" [ 0; 1; 2 ] (List.rev !calls)
+
+let test_run_until_invalid () =
+  Alcotest.check_raises "min < 2" (Invalid_argument "Confidence.run_until: min_samples < 2")
+    (fun () -> ignore (Confidence.run_until ~min_samples:1 (fun _ -> 0.)))
+
+let test_quantiles () =
+  Alcotest.(check (float 1e-3)) "z99" 2.576 Confidence.z99;
+  Alcotest.(check (float 1e-3)) "z95" 1.960 Confidence.z95
+
+(* Histogram *)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Histogram.add h) [ 0.; 1.9; 2.; 9.9; 5. ];
+  Alcotest.(check int) "total" 5 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 1 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 2" 1 (Histogram.bin_count h 2);
+  Alcotest.(check int) "bin 4" 1 (Histogram.bin_count h 4)
+
+let test_histogram_saturation () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:2 in
+  Histogram.add h (-5.);
+  Histogram.add h 100.;
+  Alcotest.(check int) "low edge" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "high edge" 1 (Histogram.bin_count h 1)
+
+let test_histogram_ranges () =
+  let h = Histogram.create ~lo:2. ~hi:6. ~bins:4 in
+  let lo, hi = Histogram.bin_range h 1 in
+  Alcotest.check feq "range lo" 3. lo;
+  Alcotest.check feq "range hi" 4. hi;
+  Alcotest.check_raises "bad index" (Invalid_argument "Histogram.bin_range: bad index") (fun () ->
+      ignore (Histogram.bin_range h 4))
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "no bins" (Invalid_argument "Histogram.create: bins <= 0") (fun () ->
+      ignore (Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "inverted" (Invalid_argument "Histogram.create: hi <= lo") (fun () ->
+      ignore (Histogram.create ~lo:1. ~hi:1. ~bins:3))
+
+let test_pp_smoke () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 1.; 2.; 3. ];
+  let text = Format.asprintf "%a" Summary.pp s in
+  Alcotest.(check bool) "summary pp mentions n" true (Test_helpers.contains text "n=3");
+  let h = Histogram.create ~lo:0. ~hi:4. ~bins:2 in
+  List.iter (Histogram.add h) [ 0.5; 1.; 3. ];
+  let htext = Format.asprintf "%a" Histogram.pp h in
+  Alcotest.(check bool) "histogram pp draws bars" true (Test_helpers.contains htext "#")
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single observation" `Quick test_single;
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "matches naive two-pass" `Quick test_matches_naive_two_pass;
+          Alcotest.test_case "constant stream" `Quick test_constant_stream;
+          Alcotest.test_case "ci shrinks" `Quick test_ci_shrinks;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "constant converges at floor" `Quick test_run_until_constant;
+          Alcotest.test_case "noisy converges" `Quick test_run_until_noisy_converges;
+          Alcotest.test_case "cap stops" `Quick test_run_until_cap;
+          Alcotest.test_case "index order" `Quick test_run_until_counter;
+          Alcotest.test_case "invalid bounds" `Quick test_run_until_invalid;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic binning" `Quick test_histogram_basic;
+          Alcotest.test_case "edge saturation" `Quick test_histogram_saturation;
+          Alcotest.test_case "bin ranges" `Quick test_histogram_ranges;
+          Alcotest.test_case "invalid creation" `Quick test_histogram_invalid;
+        ] );
+    ]
