@@ -14,7 +14,20 @@ module Coverage = Manet_coverage.Coverage
 
 let quick = ref false
 let csv_dir = ref None
+let json_dir = ref None
 let domains = ref 1
+
+(* Hand-rolled JSON emission (no JSON library in the image): only
+   objects, arrays, strings, ints and finite floats are needed. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let write_json ~dir ~name rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc rows;
+  close_out oc;
+  Printf.printf "  [json] %s\n%!" path
 
 let config () =
   let c = if !quick then Figures.quick else Figures.default in
@@ -182,12 +195,25 @@ let timing () =
         let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
         (name, ns, r2) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
   in
   Printf.printf "%-28s %14s %8s\n" "benchmark (n=100, d=6)" "ns/run" "r²";
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-28s %14.0f %8.3f\n" name ns r2)
-    rows
+    rows;
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let entries =
+      List.map
+        (fun (name, ns, r2) ->
+          Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}" name
+            (json_float ns) (json_float r2))
+        rows
+    in
+    write_json ~dir ~name:"BENCH_timing.json"
+      (Printf.sprintf "{\n  \"n\": 100,\n  \"avg_degree\": 6,\n  \"results\": [\n%s\n  ]\n}\n"
+         (String.concat ",\n" entries))
 
 (* Scalability: wall-clock of each construction as n grows an order of
    magnitude past the paper's largest network, at fixed density. *)
@@ -195,6 +221,7 @@ let timing_scale () =
   section "Timing: construction scalability (CPU seconds, fixed d = 12)";
   Printf.printf "%8s %10s %12s %12s %12s %14s\n" "n" "sample" "clustering" "static-2.5"
     "dynamic bc" "us per node";
+  let rows = ref [] in
   List.iter
     (fun n ->
       let rng = Manet_rng.Rng.create ~seed:(n + 5) in
@@ -218,8 +245,24 @@ let timing_scale () =
       in
       Printf.printf "%8d %10.3f %12.3f %12.3f %12.3f %14.1f\n" n t_sample t_cluster t_static
         t_dynamic
-        (1e6 *. t_static /. float_of_int n))
-    [ 100; 300; 1000; 3000; 10000 ]
+        (1e6 *. t_static /. float_of_int n);
+      rows := (n, t_sample, t_cluster, t_static, t_dynamic) :: !rows)
+    [ 100; 300; 1000; 3000; 10000 ];
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let entries =
+      List.rev_map
+        (fun (n, ts, tc, tst, td) ->
+          Printf.sprintf
+            "    {\"n\": %d, \"sample_s\": %s, \"clustering_s\": %s, \"static_s\": %s, \
+             \"dynamic_s\": %s}"
+            n (json_float ts) (json_float tc) (json_float tst) (json_float td))
+        !rows
+    in
+    write_json ~dir ~name:"BENCH_scale.json"
+      (Printf.sprintf "{\n  \"avg_degree\": 12,\n  \"results\": [\n%s\n  ]\n}\n"
+         (String.concat ",\n" entries))
 
 let experiments =
   [
@@ -243,7 +286,7 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [--csv DIR] [--domains N] [experiment ...]";
+  print_endline "usage: main.exe [--quick] [--csv DIR] [--json DIR] [--domains N] [experiment ...]";
   print_endline "experiments:";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
   print_endline "  all (default)"
@@ -257,6 +300,9 @@ let () =
       parse acc rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
+      parse acc rest
+    | "--json" :: dir :: rest ->
+      json_dir := Some dir;
       parse acc rest
     | "--domains" :: k :: rest ->
       domains := int_of_string k;

@@ -5,9 +5,13 @@ module Coverage = Manet_coverage.Coverage
 
 type t = { graph : Graph.t; root : int; parent : int array; members : Nodeset.t }
 
-let build g cl mode ~source =
+let build ?cache g cl mode ~source =
   let n = Graph.n g in
-  let coverages = Coverage.all g cl mode in
+  let coverages =
+    match cache with
+    | Some c -> Coverage.Cache.coverages c
+    | None -> Coverage.all g cl mode
+  in
   let root = Clustering.head_of cl source in
   let parent = Array.make n (-1) in
   let members = ref (Nodeset.singleton root) in

@@ -21,12 +21,15 @@ type t = {
 }
 
 val build :
+  ?cache:Manet_coverage.Coverage.Cache.t ->
   Manet_graph.Graph.t ->
   Manet_cluster.Clustering.t ->
   Manet_coverage.Coverage.mode ->
   source:int ->
   t
-(** @raise Failure if some cluster cannot join (cannot happen on a
+(** [cache] shares precomputed CH_HOP tables and coverage sets (same
+    graph, clustering, and mode).
+    @raise Failure if some cluster cannot join (cannot happen on a
     connected graph — the cluster graph is strongly connected). *)
 
 val is_cds : t -> bool

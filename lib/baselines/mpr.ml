@@ -26,7 +26,7 @@ let mpr_set g v =
     Graph.fold_neighbors g v
       (fun acc b -> if Nodeset.mem b mandatory then acc else (b, cover_of b) :: acc)
       []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   List.fold_left
     (fun s b -> Nodeset.add b s)

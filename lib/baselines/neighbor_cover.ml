@@ -6,7 +6,7 @@ let two_hop_strict g v = Manet_graph.Bfs.ring g ~source:v ~k:2
 let forwards g ~node ~universe =
   let candidates =
     Graph.fold_neighbors g node (fun acc b -> (b, Graph.open_neighborhood g b) :: acc) []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   Set_cover.greedy ~universe ~candidates
   |> List.fold_left (fun s b -> Nodeset.add b s) Nodeset.empty

@@ -28,7 +28,12 @@ let build g =
   in
   (* Greedy MIS in (level, id) order. *)
   let rank v = (level.(v), v) in
-  let order = List.init n Fun.id |> List.sort (fun a b -> compare (rank a) (rank b)) in
+  let order =
+    List.init n Fun.id
+    |> List.sort (fun a b ->
+           let la, ia = rank a and lb, ib = rank b in
+           match Int.compare la lb with 0 -> Int.compare ia ib | c -> c)
+  in
   let in_mis = Array.make n false in
   List.iter
     (fun v ->

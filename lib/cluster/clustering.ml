@@ -14,7 +14,7 @@ let of_head_array g head_of =
         invalid_arg "Clustering.of_head_array: member not adjacent to its head")
     head_of;
   let heads =
-    Array.to_list head_of |> List.filteri (fun v h -> v = h) |> List.sort_uniq compare
+    Array.to_list head_of |> List.filteri (fun v h -> v = h) |> List.sort_uniq Int.compare
   in
   let ok_independent =
     List.for_all

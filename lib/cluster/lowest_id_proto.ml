@@ -41,7 +41,7 @@ module P = struct
     match s.decision with
     | Head | Member _ -> ()
     | Candidate ->
-      (match List.sort compare s.known_heads with
+      (match List.sort Int.compare s.known_heads with
       | h :: _ -> s.decision <- Member h
       | [] ->
         if List.length s.decided_smaller = List.length s.smaller_neighbors then

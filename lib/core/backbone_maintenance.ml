@@ -24,7 +24,7 @@ type report = {
 
 let refresh_head t g cl h =
   let cov = Coverage.of_head g cl t.mode h in
-  let sel = Gateway_selection.select cov ~targets:(Coverage.covered cov) in
+  let sel = Gateway_selection.select cov in
   Hashtbl.replace t.coverages h cov;
   Hashtbl.replace t.selections h sel;
   (* one GATEWAY message by the head, forwarded by each selected 1-hop

@@ -28,7 +28,7 @@ let measure g mode =
       match coverages.(h) with
       | None -> ()
       | Some cov ->
-        let selected = Gateway_selection.select cov ~targets:(Coverage.covered cov) in
+        let selected = Gateway_selection.select cov in
         all_gateways := Nodeset.union !all_gateways selected;
         let one_hop =
           Nodeset.cardinal

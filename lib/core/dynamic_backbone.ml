@@ -37,15 +37,14 @@ module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
 
 type event = Reception of packet | Designate of packet
 
-let neighbor_heads g cl v =
-  Graph.fold_neighbors g v
-    (fun s u -> if Clustering.is_head cl u then Nodeset.add u s else s)
-    Nodeset.empty
-
-let broadcast_traced ?(pruning = Coverage_and_relay) ?coverages g cl mode ~source =
+let broadcast_traced ?(pruning = Coverage_and_relay) ?cache g cl mode ~source =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Dynamic_backbone.broadcast: source out of range";
-  let coverages = match coverages with Some c -> c | None -> Coverage.all g cl mode in
+  let cache = match cache with Some c -> c | None -> Coverage.Cache.create g cl mode in
+  let coverages = Coverage.Cache.coverages cache in
+  (* Relay events reuse the cache's per-node 1-hop clusterhead sets
+     instead of rebuilding a Nodeset per transmission. *)
+  let neighbor_heads v = Coverage.Cache.neighbor_heads cache v in
   let coverage_of h =
     match coverages.(h) with
     | Some c -> c
@@ -106,7 +105,7 @@ let broadcast_traced ?(pruning = Coverage_and_relay) ?coverages g cl mode ~sourc
       {
         upstream = None;
         upstream_coverage = Nodeset.empty;
-        relayer_heads = neighbor_heads g cl source;
+        relayer_heads = neighbor_heads source;
       };
   delivered.(source) <- true;
   (* Event loop. *)
@@ -131,15 +130,15 @@ let broadcast_traced ?(pruning = Coverage_and_relay) ?coverages g cl mode ~sourc
           completion := time
         end;
         if not transmitted.(receiver) then
-          transmit time receiver { pkt with relayer_heads = neighbor_heads g cl receiver });
+          transmit time receiver { pkt with relayer_heads = neighbor_heads receiver });
       drain ()
   in
   drain ();
   ( { Manet_broadcast.Result.source; forwarders = !forwarders; delivered; completion_time = !completion },
     List.rev !trace )
 
-let broadcast ?pruning ?coverages g cl mode ~source =
-  fst (broadcast_traced ?pruning ?coverages g cl mode ~source)
+let broadcast ?pruning ?cache g cl mode ~source =
+  fst (broadcast_traced ?pruning ?cache g cl mode ~source)
 
 let forward_set ?pruning g cl mode ~source =
   (broadcast ?pruning g cl mode ~source).Manet_broadcast.Result.forwarders

@@ -40,7 +40,7 @@ val pp_pruning : Format.formatter -> pruning -> unit
 
 val broadcast :
   ?pruning:pruning ->
-  ?coverages:Manet_coverage.Coverage.t option array ->
+  ?cache:Manet_coverage.Coverage.Cache.t ->
   Manet_graph.Graph.t ->
   Manet_cluster.Clustering.t ->
   Manet_coverage.Coverage.mode ->
@@ -48,12 +48,13 @@ val broadcast :
   Manet_broadcast.Result.t
 (** Run one broadcast.  The forward-node count of the result is the
     quantity of the paper's Figures 7 and 8 (dynamic backbone).
-    [coverages] defaults to computing {!Manet_coverage.Coverage.all};
-    pass it when running many broadcasts over one topology. *)
+    [cache] shares precomputed CH_HOP tables and coverage sets (it must
+    have been created from the same graph, clustering, and mode); pass it
+    when running many broadcasts over one topology. *)
 
 val broadcast_traced :
   ?pruning:pruning ->
-  ?coverages:Manet_coverage.Coverage.t option array ->
+  ?cache:Manet_coverage.Coverage.Cache.t ->
   Manet_graph.Graph.t ->
   Manet_cluster.Clustering.t ->
   Manet_coverage.Coverage.mode ->

@@ -16,7 +16,9 @@ type state = {
   mutable forwarded : Nodeset.t;  (** heads whose message was already forwarded *)
 }
 
-let run g cl mode =
+let run ?cache g cl mode =
+  let cache = match cache with Some c -> c | None -> Coverage.Cache.create g cl mode in
+  let coverages = Coverage.Cache.coverages cache in
   let module P = struct
     type nonrec msg = msg
 
@@ -25,11 +27,9 @@ let run g cl mode =
     let init _g v =
       let is_head = Clustering.is_head cl v in
       let selection =
-        if is_head then begin
-          let cov = Coverage.of_head g cl mode v in
-          Gateway_selection.select cov ~targets:(Coverage.covered cov)
-        end
-        else Nodeset.empty
+        match coverages.(v) with
+        | Some cov -> Gateway_selection.select cov
+        | None -> Nodeset.empty
       in
       { id = v; is_head; selection; informed = false; pending = []; forwarded = Nodeset.empty }
 

@@ -21,7 +21,10 @@ type report = {
 }
 
 val run :
+  ?cache:Manet_coverage.Coverage.Cache.t ->
   Manet_graph.Graph.t ->
   Manet_cluster.Clustering.t ->
   Manet_coverage.Coverage.mode ->
   report
+(** [cache] shares precomputed CH_HOP tables and coverage sets with the
+    other constructions; it must match the graph, clustering, and mode. *)

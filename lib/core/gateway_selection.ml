@@ -1,94 +1,127 @@
 module Nodeset = Manet_graph.Nodeset
 module Coverage = Manet_coverage.Coverage
 
-(* Per-candidate view: which 2-hop targets a neighbor v covers directly,
-   and which 3-hop targets it covers indirectly (with the second hop). *)
-type candidate = {
-  v : int;
-  mutable direct : Nodeset.t;  (** clusterheads of c2 reached through v *)
-  mutable indirect : (int * int) list;  (** (clusterhead of c3, second hop w) *)
-}
+(* The candidate table is a set of parallel arrays indexed by candidate
+   slot; candidates (the first-hop connectors) are collected, sorted and
+   deduplicated up front, so a slot lookup is a binary search instead of
+   a hash.  Targets are referred to by their index in the (sorted) c2/c3
+   entry lists, with liveness flags and per-candidate live cover counts
+   maintained incrementally as targets get covered — each greedy round
+   is then a linear scan over the candidates instead of a set
+   intersection per candidate. *)
 
-let select (cov : Coverage.t) ~targets =
-  let t2 = ref (Nodeset.inter targets (Coverage.c2_set cov)) in
-  let t3 = ref (Nodeset.inter targets (Coverage.c3_set cov)) in
-  let selected = ref Nodeset.empty in
-  (* Build candidate tables restricted to the targets. *)
-  let by_v : (int, candidate) Hashtbl.t = Hashtbl.create 16 in
-  let candidate v =
-    match Hashtbl.find_opt by_v v with
-    | Some c -> c
-    | None ->
-      let c = { v; direct = Nodeset.empty; indirect = [] } in
-      Hashtbl.add by_v v c;
-      c
+let select ?targets (cov : Coverage.t) =
+  let c2 = Array.of_list cov.c2 in
+  let c3 = Array.of_list cov.c3 in
+  let live ch = match targets with None -> true | Some t -> Nodeset.mem ch t in
+  let live2 = Array.map (fun (ch, _) -> live ch) c2 in
+  let live3 = Array.map (fun (ch, _) -> live ch) c3 in
+  let n2_live = ref 0 in
+  Array.iter (fun l -> if l then incr n2_live) live2;
+  (* Distinct candidates, ascending — the greedy scan order. *)
+  let cands =
+    let buf = ref [] in
+    Array.iteri
+      (fun i (_, connectors) ->
+        if live2.(i) then Array.iter (fun v -> buf := v :: !buf) connectors)
+      c2;
+    Array.iteri
+      (fun i (_, pairs) ->
+        if live3.(i) then Array.iter (fun (v, _) -> buf := v :: !buf) pairs)
+      c3;
+    Array.of_list (List.sort_uniq Int.compare !buf)
   in
-  List.iter
-    (fun (ch, connectors) ->
-      if Nodeset.mem ch !t2 then
+  let n_cands = Array.length cands in
+  let slot_of v =
+    let lo = ref 0 and hi = ref (n_cands - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cands.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let live_direct = Array.make n_cands 0 in
+  let live_indirect = Array.make n_cands 0 in
+  let direct = Array.make n_cands [] in
+  (* (c3 index, second hop w) in reverse encounter order *)
+  let indirect = Array.make n_cands [] in
+  let rev2 = Array.make (Array.length c2) [] in
+  let rev3 = Array.make (Array.length c3) [] in
+  Array.iteri
+    (fun i (_, connectors) ->
+      if live2.(i) then
         Array.iter
           (fun v ->
-            let c = candidate v in
-            c.direct <- Nodeset.add ch c.direct)
+            let s = slot_of v in
+            direct.(s) <- i :: direct.(s);
+            live_direct.(s) <- live_direct.(s) + 1;
+            rev2.(i) <- s :: rev2.(i))
           connectors)
-    cov.c2;
-  List.iter
-    (fun (ch, pairs) ->
-      if Nodeset.mem ch !t3 then
+    c2;
+  Array.iteri
+    (fun i (_, pairs) ->
+      if live3.(i) then
         Array.iter
           (fun (v, w) ->
-            let c = candidate v in
-            c.indirect <- (ch, w) :: c.indirect)
+            let s = slot_of v in
+            indirect.(s) <- (i, w) :: indirect.(s);
+            live_indirect.(s) <- live_indirect.(s) + 1;
+            rev3.(i) <- s :: rev3.(i))
           pairs)
-    cov.c3;
-  (* Phase 1: greedy direct coverage of the 2-hop targets. *)
-  let live_direct c = Nodeset.cardinal (Nodeset.inter c.direct !t2) in
-  let live_indirect c =
-    List.fold_left
-      (fun acc (ch, _) -> if Nodeset.mem ch !t3 then acc + 1 else acc)
-      0 c.indirect
-  in
-  let better a b =
-    (* true when a beats b: more direct, then more indirect, then lower id *)
-    let da = live_direct a and db = live_direct b in
-    if da <> db then da > db
-    else begin
-      let ia = live_indirect a and ib = live_indirect b in
-      if ia <> ib then ia > ib else a.v < b.v
+    c3;
+  let selected = ref Nodeset.empty in
+  let cover2 i =
+    if live2.(i) then begin
+      live2.(i) <- false;
+      decr n2_live;
+      List.iter (fun s -> live_direct.(s) <- live_direct.(s) - 1) rev2.(i)
     end
   in
-  while not (Nodeset.is_empty !t2) do
-    let best =
-      Hashtbl.fold
-        (fun _ c acc ->
-          if live_direct c = 0 then acc
-          else match acc with Some b when better b c -> acc | Some _ | None -> Some c)
-        by_v None
-    in
-    match best with
-    | None ->
+  let cover3 i =
+    live3.(i) <- false;
+    List.iter (fun s -> live_indirect.(s) <- live_indirect.(s) - 1) rev3.(i)
+  in
+  (* Phase 1: greedy direct coverage of the 2-hop targets.  Scanning in
+     ascending id with strict improvement implements the greedy order:
+     most direct, then most indirect, then lowest id. *)
+  let continue_ = ref true in
+  while !n2_live > 0 && !continue_ do
+    let best = ref (-1) in
+    for s = 0 to n_cands - 1 do
+      if
+        live_direct.(s) > 0
+        && (!best < 0
+           || live_direct.(s) > live_direct.(!best)
+           || (live_direct.(s) = live_direct.(!best)
+              && live_indirect.(s) > live_indirect.(!best)))
+      then best := s
+    done;
+    if !best < 0 then
       (* Cannot happen for well-formed coverage sets: every c2 entry has a
          connector.  Guard against an impossible loop anyway. *)
-      t2 := Nodeset.empty
-    | Some c ->
-      selected := Nodeset.add c.v !selected;
-      t2 := Nodeset.diff !t2 c.direct;
+      continue_ := false
+    else begin
+      let s = !best in
+      selected := Nodeset.add cands.(s) !selected;
+      List.iter cover2 direct.(s);
       List.iter
-        (fun (ch, w) ->
-          if Nodeset.mem ch !t3 then begin
-            t3 := Nodeset.remove ch !t3;
+        (fun (i, w) ->
+          if live3.(i) then begin
+            cover3 i;
             selected := Nodeset.add w !selected
           end)
-        c.indirect
+        indirect.(s)
+    end
   done;
   (* Phase 2: connect the remaining 3-hop targets with pairs, preferring
-     pairs that reuse already-selected gateways. *)
+     pairs that reuse already-selected gateways, then the smallest pair. *)
   let pair_score (v, w) =
     (if Nodeset.mem v !selected then 1 else 0) + if Nodeset.mem w !selected then 1 else 0
   in
-  List.iter
-    (fun (ch, pairs) ->
-      if Nodeset.mem ch !t3 then begin
+  let pair_lt (v1, w1) (v2, w2) = v1 < v2 || (v1 = v2 && w1 < w2) in
+  Array.iteri
+    (fun i (_, pairs) ->
+      if live3.(i) then begin
         let best = ref None in
         Array.iter
           (fun p ->
@@ -96,13 +129,151 @@ let select (cov : Coverage.t) ~targets =
             | None -> best := Some p
             | Some b ->
               let sp = pair_score p and sb = pair_score b in
-              if sp > sb || (sp = sb && p < b) then best := Some p)
+              if sp > sb || (sp = sb && pair_lt p b) then best := Some p)
           pairs;
         match !best with
         | Some (v, w) ->
-          t3 := Nodeset.remove ch !t3;
+          live3.(i) <- false;
           selected := Nodeset.add v (Nodeset.add w !selected)
         | None -> ()
       end)
-    cov.c3;
+    c3;
   !selected
+
+(* Batched selection over every clusterhead of a topology: the same
+   greedy routine, with the candidate slot map, the per-head selected
+   set, and the output accumulated through generation-tagged arrays
+   shared across heads (the generation is the head id), so no per-head
+   set or hash structure is built.  Must select exactly what {!select}
+   selects head by head — asserted by the test suite. *)
+let select_all coverages ~n =
+  let ind = Array.make n false in
+  let tag = Array.make n (-1) in
+  let slotv = Array.make n 0 in
+  let sel_tag = Array.make n (-1) in
+  let cand_buf = ref (Array.make 64 0) in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (cov : Coverage.t) ->
+        let u = cov.owner in
+        let c2 = Array.of_list cov.c2 in
+        let c3 = Array.of_list cov.c3 in
+        let n2_live = ref (Array.length c2) in
+        (* Distinct candidates, ascending — the greedy scan order. *)
+        let k = ref 0 in
+        let add v =
+          if tag.(v) <> u then begin
+            tag.(v) <- u;
+            if !k = Array.length !cand_buf then begin
+              let b = Array.make (2 * Array.length !cand_buf) 0 in
+              Array.blit !cand_buf 0 b 0 !k;
+              cand_buf := b
+            end;
+            !cand_buf.(!k) <- v;
+            incr k
+          end
+        in
+        Array.iter (fun (_, connectors) -> Array.iter add connectors) c2;
+        Array.iter (fun (_, pairs) -> Array.iter (fun (v, _) -> add v) pairs) c3;
+        let cands = Array.sub !cand_buf 0 !k in
+        Array.sort Int.compare cands;
+        Array.iteri (fun i v -> slotv.(v) <- i) cands;
+        let n_cands = !k in
+        let live_direct = Array.make n_cands 0 in
+        let live_indirect = Array.make n_cands 0 in
+        let direct = Array.make n_cands [] in
+        let indirect = Array.make n_cands [] in
+        let live2 = Array.make (Array.length c2) true in
+        let live3 = Array.make (Array.length c3) true in
+        let rev2 = Array.make (Array.length c2) [] in
+        let rev3 = Array.make (Array.length c3) [] in
+        Array.iteri
+          (fun i (_, connectors) ->
+            Array.iter
+              (fun v ->
+                let s = slotv.(v) in
+                direct.(s) <- i :: direct.(s);
+                live_direct.(s) <- live_direct.(s) + 1;
+                rev2.(i) <- s :: rev2.(i))
+              connectors)
+          c2;
+        Array.iteri
+          (fun i (_, pairs) ->
+            Array.iter
+              (fun (v, w) ->
+                let s = slotv.(v) in
+                indirect.(s) <- (i, w) :: indirect.(s);
+                live_indirect.(s) <- live_indirect.(s) + 1;
+                rev3.(i) <- s :: rev3.(i))
+              pairs)
+          c3;
+        let take v =
+          sel_tag.(v) <- u;
+          ind.(v) <- true
+        in
+        let cover2 i =
+          if live2.(i) then begin
+            live2.(i) <- false;
+            decr n2_live;
+            List.iter (fun s -> live_direct.(s) <- live_direct.(s) - 1) rev2.(i)
+          end
+        in
+        let cover3 i =
+          live3.(i) <- false;
+          List.iter (fun s -> live_indirect.(s) <- live_indirect.(s) - 1) rev3.(i)
+        in
+        (* Phase 1: greedy direct coverage of the 2-hop targets. *)
+        let continue_ = ref true in
+        while !n2_live > 0 && !continue_ do
+          let best = ref (-1) in
+          for s = 0 to n_cands - 1 do
+            if
+              live_direct.(s) > 0
+              && (!best < 0
+                 || live_direct.(s) > live_direct.(!best)
+                 || (live_direct.(s) = live_direct.(!best)
+                    && live_indirect.(s) > live_indirect.(!best)))
+            then best := s
+          done;
+          if !best < 0 then continue_ := false
+          else begin
+            let s = !best in
+            take cands.(s);
+            List.iter cover2 direct.(s);
+            List.iter
+              (fun (i, w) ->
+                if live3.(i) then begin
+                  cover3 i;
+                  take w
+                end)
+              indirect.(s)
+          end
+        done;
+        (* Phase 2: pairs for the remaining 3-hop targets. *)
+        let pair_score (v, w) =
+          (if sel_tag.(v) = u then 1 else 0) + if sel_tag.(w) = u then 1 else 0
+        in
+        let pair_lt (v1, w1) (v2, w2) = v1 < v2 || (v1 = v2 && w1 < w2) in
+        Array.iteri
+          (fun i (_, pairs) ->
+            if live3.(i) then begin
+              let best = ref None in
+              Array.iter
+                (fun p ->
+                  match !best with
+                  | None -> best := Some p
+                  | Some b ->
+                    let sp = pair_score p and sb = pair_score b in
+                    if sp > sb || (sp = sb && pair_lt p b) then best := Some p)
+                pairs;
+              match !best with
+              | Some (v, w) ->
+                live3.(i) <- false;
+                take v;
+                take w
+              | None -> ()
+            end)
+          c3)
+    coverages;
+  Nodeset.of_indicator ind

@@ -20,8 +20,17 @@
     pruned by upstream history). *)
 
 val select :
-  Manet_coverage.Coverage.t -> targets:Manet_graph.Nodeset.t -> Manet_graph.Nodeset.t
+  ?targets:Manet_graph.Nodeset.t -> Manet_coverage.Coverage.t -> Manet_graph.Nodeset.t
 (** [select cov ~targets] returns the selected gateway nodes (first and
     second hops mixed; all non-clusterheads).  Targets outside the
     coverage set are ignored; an empty effective target set yields the
-    empty selection. *)
+    empty selection.  Omitting [targets] selects for the whole coverage
+    set — equivalent to [~targets:(Coverage.covered cov)] without
+    materialising the set. *)
+
+val select_all :
+  Manet_coverage.Coverage.t option array -> n:int -> Manet_graph.Nodeset.t
+(** [select_all coverages ~n] (with [n] the number of nodes) is the
+    union over every clusterhead of [select cov] — the static backbone's
+    gateway set — computed with work arrays shared across heads instead
+    of per-head sets. *)

@@ -13,20 +13,21 @@ type t = {
   members : Nodeset.t;
 }
 
-let build ?clustering g mode =
+let build ?clustering ?cache g mode =
   let clustering =
-    match clustering with Some c -> c | None -> Manet_cluster.Lowest_id.cluster g
+    match clustering with
+    | Some c -> c
+    | None ->
+      (match cache with
+      | Some cache -> Coverage.Cache.clustering cache
+      | None -> Manet_cluster.Lowest_id.cluster g)
   in
-  let coverages = Coverage.all g clustering mode in
-  let gateways =
-    Array.fold_left
-      (fun acc cov ->
-        match cov with
-        | None -> acc
-        | Some cov ->
-          Nodeset.union acc (Gateway_selection.select cov ~targets:(Coverage.covered cov)))
-      Nodeset.empty coverages
+  let coverages =
+    match cache with
+    | Some cache -> Coverage.Cache.coverages cache
+    | None -> Coverage.all g clustering mode
   in
+  let gateways = Gateway_selection.select_all coverages ~n:(Graph.n g) in
   let members = Nodeset.union (Clustering.head_set clustering) gateways in
   { graph = g; clustering; mode; coverages; gateways; members }
 

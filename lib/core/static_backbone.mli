@@ -18,13 +18,17 @@ type t = {
 
 val build :
   ?clustering:Manet_cluster.Clustering.t ->
+  ?cache:Manet_coverage.Coverage.Cache.t ->
   Manet_graph.Graph.t ->
   Manet_coverage.Coverage.mode ->
   t
 (** Construct the backbone.  [clustering] defaults to lowest-ID
     clustering of the graph; pass it explicitly to share one clustering
     across several constructions (as the experiments do when comparing
-    algorithms on the same topology). *)
+    algorithms on the same topology).  [cache] shares precomputed CH_HOP
+    tables (it must have been created from [g], the same clustering, and
+    the same mode); when absent the coverage sets are computed from a
+    fresh cache. *)
 
 val size : t -> int
 (** |CDS| — the quantity of the paper's Figure 6. *)

@@ -63,7 +63,14 @@ let run g cl mode =
 
     let on_round_end s =
       s.round <- s.round + 1;
-      if (not s.is_head) && s.round = 1 then [ Ch_hop2 (List.sort compare s.hop2_entries) ]
+      if (not s.is_head) && s.round = 1 then
+        [
+          Ch_hop2
+            (List.sort
+               (fun (c1, w1) (c2, w2) ->
+                 match Int.compare c1 c2 with 0 -> Int.compare w1 w2 | c -> c)
+               s.hop2_entries);
+        ]
       else []
   end in
   let module R = Manet_sim.Rounds.Run (P) in
@@ -91,16 +98,18 @@ let run g cl mode =
                   ((v, w) :: (Option.value ~default:[] (Hashtbl.find_opt c3_tbl c))))
             entries)
         s.heard_hop2;
-      let sorted_assoc tbl to_array =
-        Hashtbl.fold (fun c l acc -> (c, to_array (List.sort compare l)) :: acc) tbl []
-        |> List.sort compare
+      let sorted_assoc tbl cmp_payload =
+        Hashtbl.fold (fun c l acc -> (c, Array.of_list (List.sort cmp_payload l)) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       in
       Some
         {
           Coverage.owner = s.id;
           mode;
-          c2 = sorted_assoc c2_tbl Array.of_list;
-          c3 = sorted_assoc c3_tbl Array.of_list;
+          c2 = sorted_assoc c2_tbl Int.compare;
+          c3 =
+            sorted_assoc c3_tbl (fun (v1, w1) (v2, w2) ->
+                match Int.compare v1 v2 with 0 -> Int.compare w1 w2 | c -> c);
         }
     end
   in

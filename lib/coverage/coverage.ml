@@ -15,70 +15,345 @@ type t = {
   c3 : (int * (int * int) array) list;
 }
 
+(* CH_HOP1 content as a sorted array: the clusterheads adjacent to [v].
+   Well-defined for every node — clusterheads form an independent set, so
+   a clusterhead's row is empty. *)
+let hop1_row g cl v =
+  let nbrs = Graph.neighbors g v in
+  let k = ref 0 in
+  Array.iter (fun u -> if Clustering.is_head cl u then incr k) nbrs;
+  if !k = 0 then [||]
+  else begin
+    let out = Array.make !k 0 in
+    let i = ref 0 in
+    Array.iter
+      (fun u ->
+        if Clustering.is_head cl u then begin
+          out.(!i) <- u;
+          incr i
+        end)
+      nbrs;
+    out
+  end
+
+(* CH_HOP2 content of non-clusterhead [v] as a sorted array, deduplicated
+   through a shared stamp array ([stamp.(c) = v] marks clusterhead [c] as
+   already recorded for this [v]).  Scanning neighbors in increasing id
+   keeps, per clusterhead, the entry with the smallest via node — the
+   first CH_HOP1 the protocol hears. *)
+(* Bits needed for a node id of a graph with [n] nodes: the packed-row
+   encoding places the clusterhead above the via node. *)
+let row_shift n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 1
+
+(* The row stays packed; consumers decode with [unpack_row].  [gen] is
+   bumped per call so the shared stamp array resets in O(1) and repeated
+   calls for the same node stay correct. *)
+let hop2_row g cl mode ~hop1 ~stamp ~gen ~buf v =
+  incr gen;
+  let tick = !gen in
+  (* Pre-stamping [v]'s own adjacent clusterheads subsumes the
+     not-a-neighbor test: a clusterhead is adjacent to [v] iff it is in
+     [v]'s CH_HOP1 row. *)
+  Array.iter (fun c -> stamp.(c) <- tick) (hop1 v);
+  (* Entries accumulate packed as [c lsl shift lor w] in the shared
+     growable buffer — with [0 <= w < 2^shift] the integer order is
+     exactly the lexicographic (c, w) order, so one int sort replaces
+     the pair sort (and the per-entry allocations). *)
+  let shift = row_shift (Array.length stamp) in
+  let len = ref 0 in
+  let push x =
+    if !len = Array.length !buf then begin
+      let b = Array.make (2 * Array.length !buf) 0 in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end;
+    !buf.(!len) <- x;
+    incr len
+  in
+  Graph.iter_neighbors g v (fun w ->
+      if not (Clustering.is_head cl w) then begin
+        let record c =
+          if stamp.(c) <> tick then begin
+            stamp.(c) <- tick;
+            push ((c lsl shift) lor w)
+          end
+        in
+        match mode with
+        | Hop25 -> record (Clustering.head_of cl w)
+        | Hop3 -> Array.iter record (hop1 w)
+      end);
+  let packed = Array.sub !buf 0 !len in
+  Array.sort Int.compare packed;
+  packed
+
 let ch_hop1 g cl v =
   if Clustering.is_head cl v then invalid_arg "Coverage.ch_hop1: clusterheads do not send CH_HOP1";
-  Graph.fold_neighbors g v
-    (fun s u -> if Clustering.is_head cl u then Nodeset.add u s else s)
-    Nodeset.empty
+  Array.fold_left (fun s u -> Nodeset.add u s) Nodeset.empty (hop1_row g cl v)
+
+let unpack_row ~n packed =
+  let shift = row_shift n in
+  let mask = (1 lsl shift) - 1 in
+  Array.map (fun x -> (x lsr shift, x land mask)) packed
 
 let ch_hop2 g cl mode v =
   if Clustering.is_head cl v then invalid_arg "Coverage.ch_hop2: clusterheads do not send CH_HOP2";
-  (* Scanning neighbors in increasing id keeps, per clusterhead, the entry
-     with the smallest via node — the first CH_HOP1 the protocol hears. *)
-  let entries = Hashtbl.create 8 in
-  let order = ref [] in
-  Graph.iter_neighbors g v (fun w ->
-      if not (Clustering.is_head cl w) then begin
-        let candidates =
-          match mode with
-          | Hop25 -> [ Clustering.head_of cl w ]
-          | Hop3 -> Nodeset.elements (ch_hop1 g cl w)
-        in
-        List.iter
-          (fun c ->
-            if (not (Graph.mem_edge g v c)) && not (Hashtbl.mem entries c) then begin
-              Hashtbl.add entries c w;
-              order := c :: !order
-            end)
-          candidates
-      end);
-  List.sort compare (List.rev_map (fun c -> (c, Hashtbl.find entries c)) !order)
+  let n = Graph.n g in
+  let stamp = Array.make n (-1) in
+  let gen = ref 0 in
+  let buf = ref (Array.make 64 0) in
+  Array.to_list (unpack_row ~n (hop2_row g cl mode ~hop1:(hop1_row g cl) ~stamp ~gen ~buf v))
 
-let of_head g cl mode u =
+(* Reusable per-graph working storage for {!of_head_from}: generation
+   tags (the current head id) turn the O(n) arrays into O(1)-reset maps
+   shared across heads, and connector entries accumulate in a shared
+   buffer chained per key so each CH_HOP row is scanned only once. *)
+type scratch = {
+  tag2 : int array;  (** [tag2.(c) = u] iff clusterhead [c] is in C2(u) *)
+  tag3 : int array;
+  slot : int array;  (** index of clusterhead [c] in the key buffer *)
+  keys : int array;  (** distinct clusterheads, in first-seen order *)
+  cnt : int array;  (** connector count per key *)
+  chain : int array;  (** head of the entry chain per key *)
+  mutable evals : int array;  (** entry values (packed, for C3) *)
+  mutable enext : int array;  (** next entry in the key's chain *)
+}
+
+let make_scratch n =
+  {
+    tag2 = Array.make n (-1);
+    tag3 = Array.make n (-1);
+    slot = Array.make n 0;
+    keys = Array.make n 0;
+    cnt = Array.make n 0;
+    chain = Array.make n (-1);
+    evals = Array.make 256 0;
+    enext = Array.make 256 0;
+  }
+
+(* Coverage set of clusterhead [u] from CH_HOP row lookups.  Because the
+   outer scan visits the connectors [v] in increasing id and each CH_HOP
+   row names a clusterhead at most once, the per-clusterhead connector
+   arrays come out already sorted — only the key lists need sorting.
+   Connector entries are prepended to a per-key chain in the shared
+   buffer during the single row scan; emitting each chain back-to-front
+   restores ascending order in exact-sized arrays. *)
+let of_head_from g ~hop1 ~hop2 ~scratch cl mode u =
   if not (Clustering.is_head cl u) then invalid_arg "Coverage.of_head: not a clusterhead";
+  let { tag2; tag3; slot; keys; cnt; chain; _ } = scratch in
+  let n_entries = ref 0 in
+  let push_entry x s =
+    if !n_entries = Array.length scratch.evals then begin
+      let size = 2 * Array.length scratch.evals in
+      let ev = Array.make size 0 and en = Array.make size 0 in
+      Array.blit scratch.evals 0 ev 0 !n_entries;
+      Array.blit scratch.enext 0 en 0 !n_entries;
+      scratch.evals <- ev;
+      scratch.enext <- en
+    end;
+    scratch.evals.(!n_entries) <- x;
+    scratch.enext.(!n_entries) <- chain.(s);
+    chain.(s) <- !n_entries;
+    incr n_entries
+  in
   (* C2: all clusterheads named by the neighbors' CH_HOP1 messages, with
      the naming neighbors as direct connectors. *)
-  let c2_tbl = Hashtbl.create 8 in
+  let k2 = ref 0 in
   Graph.iter_neighbors g u (fun v ->
-      Nodeset.iter
+      Array.iter
         (fun c ->
-          if c <> u then
-            Hashtbl.replace c2_tbl c
-              (v :: (Option.value ~default:[] (Hashtbl.find_opt c2_tbl c))))
-        (ch_hop1 g cl v));
+          if c <> u then begin
+            if tag2.(c) <> u then begin
+              tag2.(c) <- u;
+              slot.(c) <- !k2;
+              keys.(!k2) <- c;
+              cnt.(!k2) <- 0;
+              chain.(!k2) <- -1;
+              incr k2
+            end;
+            let s = slot.(c) in
+            cnt.(s) <- cnt.(s) + 1;
+            push_entry v s
+          end)
+        (hop1 v));
+  let sorted2 = Array.sub keys 0 !k2 in
+  Array.sort Int.compare sorted2;
   let c2 =
-    Hashtbl.fold (fun c vs acc -> (c, Array.of_list (List.sort compare vs)) :: acc) c2_tbl []
-    |> List.sort compare
+    Array.fold_right
+      (fun c acc ->
+        let s = slot.(c) in
+        let m = cnt.(s) in
+        let arr = Array.make m 0 in
+        let e = ref chain.(s) in
+        for i = m - 1 downto 0 do
+          arr.(i) <- scratch.evals.(!e);
+          e := scratch.enext.(!e)
+        done;
+        (c, arr) :: acc)
+      sorted2 []
   in
   (* C3: entries of the neighbors' CH_HOP2 messages, dropping clusterheads
-     already in C2 (and u itself). *)
-  let c3_tbl = Hashtbl.create 8 in
+     already in C2 (and u itself).  [slot], [cnt] and [chain] can be
+     reused: C2 only needed them up to this point, and C3 keys are
+     disjoint from C2 keys.  Entries repack as [v lsl shift lor w]. *)
+  let shift = row_shift (Graph.n g) in
+  let mask = (1 lsl shift) - 1 in
+  n_entries := 0;
+  let k3 = ref 0 in
   Graph.iter_neighbors g u (fun v ->
-      List.iter
-        (fun (c, w) ->
-          if c <> u && not (Hashtbl.mem c2_tbl c) then
-            Hashtbl.replace c3_tbl c
-              ((v, w) :: (Option.value ~default:[] (Hashtbl.find_opt c3_tbl c))))
-        (ch_hop2 g cl mode v));
+      Array.iter
+        (fun x ->
+          let c = x lsr shift in
+          if c <> u && tag2.(c) <> u then begin
+            if tag3.(c) <> u then begin
+              tag3.(c) <- u;
+              slot.(c) <- !k3;
+              keys.(!k3) <- c;
+              cnt.(!k3) <- 0;
+              chain.(!k3) <- -1;
+              incr k3
+            end;
+            let s = slot.(c) in
+            cnt.(s) <- cnt.(s) + 1;
+            push_entry ((v lsl shift) lor (x land mask)) s
+          end)
+        (hop2 v));
+  let sorted3 = Array.sub keys 0 !k3 in
+  Array.sort Int.compare sorted3;
   let c3 =
-    Hashtbl.fold (fun c ps acc -> (c, Array.of_list (List.sort compare ps)) :: acc) c3_tbl []
-    |> List.sort compare
+    Array.fold_right
+      (fun c acc ->
+        let s = slot.(c) in
+        let m = cnt.(s) in
+        let arr = Array.make m (0, 0) in
+        let e = ref chain.(s) in
+        for i = m - 1 downto 0 do
+          let y = scratch.evals.(!e) in
+          arr.(i) <- (y lsr shift, y land mask);
+          e := scratch.enext.(!e)
+        done;
+        (c, arr) :: acc)
+      sorted3 []
   in
   { owner = u; mode; c2; c3 }
 
-let all g cl mode =
-  Array.init (Graph.n g) (fun v ->
-      if Clustering.is_head cl v then Some (of_head g cl mode v) else None)
+let of_head g cl mode u =
+  let hop1 = hop1_row g cl in
+  let stamp = Array.make (Graph.n g) (-1) in
+  let gen = ref 0 in
+  let buf = ref (Array.make 64 0) in
+  let scratch = make_scratch (Graph.n g) in
+  of_head_from g ~hop1 ~hop2:(hop2_row g cl mode ~hop1 ~stamp ~gen ~buf) ~scratch cl mode u
+
+(* Shared CH_HOP tables for one (graph, clustering, mode): every CH_HOP1
+   and CH_HOP2 row is computed exactly once — one O(sum deg) pass for the
+   hop-1 rows and one O(sum deg * deg) pass for the hop-2 rows — and every
+   consumer (static backbone, dynamic broadcast, forwarding tree, gateway
+   protocol) reads the same arrays instead of recomputing them per
+   clusterhead. *)
+module Cache = struct
+  type coverage = t
+
+  type nonrec mode = mode
+
+  type t = {
+    graph : Graph.t;
+    clustering : Clustering.t;
+    mode : mode;
+    hop1 : int array array;
+    mutable hop2 : int array array option;  (** rows packed as [c lsl shift lor w] *)
+    mutable covs : coverage option array option;
+    head_sets : Nodeset.t option array;
+  }
+
+  let create g cl mode =
+    (* One pass per node through a shared buffer; clusterheads keep the
+       empty row directly (they form an independent set, so scanning
+       their neighbors would find no head anyway). *)
+    let hop1 =
+      let buf = ref (Array.make 64 0) in
+      Array.init (Graph.n g) (fun v ->
+          if Clustering.is_head cl v then [||]
+          else begin
+            let len = ref 0 in
+            Graph.iter_neighbors g v (fun u ->
+                if Clustering.is_head cl u then begin
+                  if !len = Array.length !buf then begin
+                    let b = Array.make (2 * Array.length !buf) 0 in
+                    Array.blit !buf 0 b 0 !len;
+                    buf := b
+                  end;
+                  !buf.(!len) <- u;
+                  incr len
+                end);
+            Array.sub !buf 0 !len
+          end)
+    in
+    {
+      graph = g;
+      clustering = cl;
+      mode;
+      hop1;
+      hop2 = None;
+      covs = None;
+      head_sets = Array.make (Graph.n g) None;
+    }
+
+  let graph t = t.graph
+  let clustering t = t.clustering
+  let mode t = t.mode
+  let ch_hop1 t v = t.hop1.(v)
+
+  let hop2_rows t =
+    match t.hop2 with
+    | Some h -> h
+    | None ->
+      let g = t.graph and cl = t.clustering in
+      let n = Graph.n g in
+      let stamp = Array.make n (-1) in
+      let gen = ref 0 in
+      let buf = ref (Array.make 64 0) in
+      let h =
+        Array.init n (fun v ->
+            if Clustering.is_head cl v then [||]
+            else hop2_row g cl t.mode ~hop1:(fun w -> t.hop1.(w)) ~stamp ~gen ~buf v)
+      in
+      t.hop2 <- Some h;
+      h
+
+  let ch_hop2 t v = unpack_row ~n:(Graph.n t.graph) (hop2_rows t).(v)
+
+  let coverages t =
+    match t.covs with
+    | Some c -> c
+    | None ->
+      let g = t.graph and cl = t.clustering in
+      let hop2 = hop2_rows t in
+      let scratch = make_scratch (Graph.n g) in
+      let c =
+        Array.init (Graph.n g) (fun v ->
+            if Clustering.is_head cl v then
+              Some
+                (of_head_from g
+                   ~hop1:(fun w -> t.hop1.(w))
+                   ~hop2:(fun w -> hop2.(w))
+                   ~scratch cl t.mode v)
+            else None)
+      in
+      t.covs <- Some c;
+      c
+
+  let neighbor_heads t v =
+    match t.head_sets.(v) with
+    | Some s -> s
+    | None ->
+      let s = Array.fold_left (fun s u -> Nodeset.add u s) Nodeset.empty t.hop1.(v) in
+      t.head_sets.(v) <- Some s;
+      s
+end
+
+let all g cl mode = Cache.coverages (Cache.create g cl mode)
 
 let keys l = List.fold_left (fun s (c, _) -> Nodeset.add c s) Nodeset.empty l
 

@@ -60,8 +60,55 @@ val of_head : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> int -
     clusterhead appearing both 2 and 3 hops away is kept in C2 only.
     @raise Invalid_argument if [u] is not a clusterhead. *)
 
+(** Shared CH_HOP tables for one [(graph, clustering, mode)] triple.
+
+    Computing a coverage set needs the CH_HOP1 row of every neighbor and
+    the CH_HOP2 row of every 2-hop node; computed naively per clusterhead
+    (as {!of_head} does) the same rows are rebuilt many times over —
+    O(sum deg³) in [Hop3] mode for {!all}.  The cache computes each row
+    exactly once (O(sum deg) for hop-1, O(sum deg²) for hop-2) and hands
+    the same arrays to every consumer: {!Manet_backbone.Static_backbone},
+    {!Manet_backbone.Dynamic_backbone}, the forwarding tree, and the
+    gateway protocol.  Tables are filled lazily on first use and memoised;
+    a cache must be discarded whenever the graph or clustering changes. *)
+module Cache : sig
+  type coverage = t
+
+  type nonrec mode = mode
+
+  type t
+
+  val create : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> t
+  (** Builds the hop-1 rows eagerly (one O(sum deg) pass); everything else
+      is filled on demand. *)
+
+  val graph : t -> Manet_graph.Graph.t
+
+  val clustering : t -> Manet_cluster.Clustering.t
+
+  val mode : t -> mode
+
+  val ch_hop1 : t -> int -> int array
+  (** Sorted clusterheads adjacent to the node; empty for clusterheads
+      (they form an independent set).  The returned array is the cached
+      one — callers must not mutate it. *)
+
+  val ch_hop2 : t -> int -> (int * int) array
+  (** The node's CH_HOP2 entries [(clusterhead, via)], sorted by
+      clusterhead; empty for clusterheads.  Decoded from the packed
+      internal row — a fresh array each call. *)
+
+  val coverages : t -> coverage option array
+  (** Same contents as {!all}; computed once and memoised. *)
+
+  val neighbor_heads : t -> int -> Manet_graph.Nodeset.t
+  (** The node's adjacent clusterheads as a set (the relayer-heads
+      exclusion set of the dynamic broadcast); memoised per node. *)
+end
+
 val all : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> t option array
-(** Indexed by node id; [Some] exactly at clusterheads. *)
+(** Indexed by node id; [Some] exactly at clusterheads.  Equivalent to
+    [Cache.coverages (Cache.create g cl mode)]. *)
 
 val covered : t -> Manet_graph.Nodeset.t
 (** C(u) = C2(u) union C3(u), as a set of clusterheads. *)

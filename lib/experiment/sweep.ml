@@ -7,59 +7,115 @@ type point = { n : int; d : float; samples : int; cells : (string * cell) list }
 
 type table = { d : float; metrics : string list; points : point list }
 
+(* Samples are evaluated in fixed-size chunks, each fed by its own
+   generator split off up front.  Workers race to evaluate chunks
+   speculatively; the stopping rule is applied by a single sequential
+   fold over chunks in index order, so the outcome is a pure function of
+   the point generator — bit-identical for every domain count.  Chunks
+   evaluated past the stopping sample are simply discarded. *)
+let chunk_size = 8
+
 let run_point ?(z = Confidence.z99) ?(rel_precision = 0.05) ?(min_samples = 30)
-    ?(max_samples = 500) ~rng ~spec metrics =
+    ?(max_samples = 500) ?(domains = 1) ~rng ~spec metrics =
   if min_samples < 2 || max_samples < min_samples then invalid_arg "Sweep.run_point: bad bounds";
-  let summaries = List.map (fun (m : Metric.t) -> (m, Summary.create ())) metrics in
+  let metric_arr = Array.of_list metrics in
+  let n_chunks = (max_samples + chunk_size - 1) / chunk_size in
+  let chunk_rngs = Array.init n_chunks (fun _ -> Manet_rng.Rng.split rng) in
+  let eval_chunk c =
+    let rng = chunk_rngs.(c) in
+    let len = min chunk_size (max_samples - (c * chunk_size)) in
+    Array.init len (fun _ ->
+        let ctx = Context.draw rng spec in
+        Array.map (fun (m : Metric.t) -> m.eval ctx) metric_arr)
+  in
+  let summaries = Array.map (fun _ -> Summary.create ()) metric_arr in
   let precise s =
     let hw = Summary.ci_half_width s ~z in
     let mean = Float.abs (Summary.mean s) in
     if mean = 0. then hw = 0. else hw <= rel_precision *. mean
   in
   let samples = ref 0 in
-  let all_precise () = List.for_all (fun (_, s) -> precise s) summaries in
-  while !samples < max_samples && not (!samples >= min_samples && all_precise ()) do
-    let ctx = Context.draw rng spec in
-    List.iter (fun ((m : Metric.t), s) -> Summary.add s (m.eval ctx)) summaries;
+  let continue () =
+    !samples < max_samples && not (!samples >= min_samples && Array.for_all precise summaries)
+  in
+  let add_sample row =
+    Array.iteri (fun i v -> Summary.add summaries.(i) v) row;
     incr samples
-  done;
+  in
+  (* The sequential fold: consume chunks in order, re-checking the
+     stopping rule before each sample exactly as the serial loop did. *)
+  let fold next_chunk =
+    let c = ref 0 in
+    while continue () && !c < n_chunks do
+      let rows = next_chunk !c in
+      incr c;
+      Array.iter (fun row -> if continue () then add_sample row) rows
+    done
+  in
+  if domains <= 1 then fold eval_chunk
+  else begin
+    let results = Array.make n_chunks None in
+    let lock = Mutex.create () in
+    let ready = Condition.create () in
+    let next = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let worker () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks && not (Atomic.get stop) then begin
+          let rows = eval_chunk c in
+          Mutex.lock lock;
+          results.(c) <- Some rows;
+          Condition.broadcast ready;
+          Mutex.unlock lock;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (min domains n_chunks) (fun _ -> Domain.spawn worker) in
+    let wait_chunk c =
+      Mutex.lock lock;
+      let rec get () =
+        match results.(c) with
+        | Some rows ->
+          Mutex.unlock lock;
+          rows
+        | None ->
+          Condition.wait ready lock;
+          get ()
+      in
+      get ()
+    in
+    fold wait_chunk;
+    Atomic.set stop true;
+    List.iter Domain.join helpers
+  end;
   {
     n = spec.Manet_topology.Spec.n;
     d = spec.Manet_topology.Spec.avg_degree;
     samples = !samples;
-    cells = List.map (fun ((m : Metric.t), s) -> (m.name, { summary = s; converged = precise s })) summaries;
+    cells =
+      List.mapi
+        (fun i (m : Metric.t) ->
+          let s = summaries.(i) in
+          (m.name, { summary = s; converged = precise s }))
+        metrics;
   }
 
 let run ?z ?rel_precision ?min_samples ?max_samples ?(domains = 1) ?(progress = fun _ -> ())
     ~rng ~d ~ns metrics =
-  (* Generators are split sequentially up front, one per point, so the
-     parallel schedule cannot perturb the random streams. *)
-  let tasks =
-    Array.of_list
-      (List.map
-         (fun n -> (Manet_topology.Spec.make ~n ~avg_degree:d (), Manet_rng.Rng.split rng))
-         ns)
-  in
-  let solve (spec, rng) =
-    run_point ?z ?rel_precision ?min_samples ?max_samples ~rng ~spec metrics
-  in
+  (* Generators are split sequentially up front, one per point; each
+     point then parallelizes over its own sample chunks, so neither the
+     point schedule nor the domain count perturbs the random streams. *)
   let points =
-    if domains <= 1 then Array.map solve tasks
-    else begin
-      let results = Array.make (Array.length tasks) None in
-      let next = Atomic.make 0 in
-      let rec worker () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length tasks then begin
-          results.(i) <- Some (solve tasks.(i));
-          worker ()
-        end
-      in
-      let helpers = List.init (min domains (Array.length tasks) - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      List.iter Domain.join helpers;
-      Array.map (fun p -> Option.get p) results
-    end
+    List.map
+      (fun n ->
+        let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+        let rng = Manet_rng.Rng.split rng in
+        let p = run_point ?z ?rel_precision ?min_samples ?max_samples ~domains ~rng ~spec metrics in
+        progress p;
+        p)
+      ns
   in
-  Array.iter progress points;
-  { d; metrics = List.map (fun (m : Metric.t) -> m.name) metrics; points = Array.to_list points }
+  { d; metrics = List.map (fun (m : Metric.t) -> m.name) metrics; points }

@@ -22,13 +22,22 @@ val run_point :
   ?rel_precision:float ->
   ?min_samples:int ->
   ?max_samples:int ->
+  ?domains:int ->
   rng:Manet_rng.Rng.t ->
   spec:Manet_topology.Spec.t ->
   Metric.t list ->
   point
 (** Defaults: z = 99% quantile, rel_precision = 0.05, min_samples = 30,
     max_samples = 500.  The cap trades exactness of the stopping rule
-    for bounded bench runtime; cells report [converged] individually. *)
+    for bounded bench runtime; cells report [converged] individually.
+
+    [domains] (default 1) evaluates samples in parallel on that many
+    OCaml 5 domains.  Samples are drawn in fixed-size chunks from
+    generators split off the point generator up front, and the stopping
+    rule is applied by a sequential fold over chunks in index order, so
+    the result is bit-identical for every domain count — only wall-clock
+    time changes.  Chunks evaluated speculatively past the stopping
+    sample are discarded. *)
 
 val run :
   ?z:float ->
@@ -44,8 +53,10 @@ val run :
   table
 (** One point per n (paper: n = 20..100), all at average degree [d].
 
-    [domains] (default 1) evaluates points in parallel on that many
-    OCaml 5 domains.  Each point draws from its own pre-split generator,
-    so results are bit-identical for every domain count — only wall-clock
-    time changes.  [progress] is invoked per finished point, in [ns]
-    order, from the calling domain. *)
+    Points are evaluated in [ns] order; [domains] is passed to
+    {!run_point}, which parallelizes over sample chunks within each
+    point (better load balance than one domain per point, since sample
+    cost grows steeply with n).  Each point draws from its own pre-split
+    generator, so results are bit-identical for every domain count.
+    [progress] is invoked per finished point, in [ns] order, from the
+    calling domain. *)

@@ -21,22 +21,23 @@ let make ~cell_size points =
 
 let cell_size t = t.cell_size
 
-let within t ~center ~radius =
+let iter_within t ~center ~radius f =
   let cx, cy = key t center in
   let reach = 1 + int_of_float (floor (radius /. t.cell_size)) in
   let r2 = radius *. radius in
-  let acc = ref [] in
   for dx = -reach to reach do
     for dy = -reach to reach do
       match Hashtbl.find_opt t.cells (cx + dx, cy + dy) with
       | None -> ()
       | Some cell ->
-        List.iter
-          (fun i -> if Point.dist_sq center t.points.(i) < r2 then acc := i :: !acc)
-          !cell
+        List.iter (fun i -> if Point.dist_sq center t.points.(i) < r2 then f i) !cell
     done
-  done;
-  List.sort compare !acc
+  done
+
+let within t ~center ~radius =
+  let acc = ref [] in
+  iter_within t ~center ~radius (fun i -> acc := i :: !acc);
+  List.sort Int.compare !acc
 
 let nearest t ~center =
   (* Plain scan: this helper is for setup code (picking a source near a

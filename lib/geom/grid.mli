@@ -15,6 +15,12 @@ val make : cell_size:float -> Point.t array -> t
 
 val cell_size : t -> float
 
+val iter_within : t -> center:Point.t -> radius:float -> (int -> unit) -> unit
+(** [iter_within t ~center ~radius f] applies [f] to the index of every
+    point at Euclidean distance [< radius] from [center], in no particular
+    order — the allocation-free primitive behind {!within}, used on the
+    graph-construction hot path. *)
+
 val within : t -> center:Point.t -> radius:float -> int list
 (** [within t ~center ~radius] is the indices of all points at Euclidean
     distance [< radius] from [center] (strict, matching the paper's

@@ -26,7 +26,7 @@ let component_sizes g =
   let comp, k = components g in
   let sizes = Array.make k 0 in
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
-  List.sort (fun a b -> compare b a) (Array.to_list sizes)
+  List.sort (fun a b -> Int.compare b a) (Array.to_list sizes)
 
 let reachable_within g ~from s =
   if not (Nodeset.mem from s) then Nodeset.empty

@@ -14,7 +14,7 @@ let of_edges ~n edges =
   let adj =
     Array.map
       (fun l ->
-        let a = Array.of_list (List.sort_uniq compare l) in
+        let a = Array.of_list (List.sort_uniq Int.compare l) in
         m := !m + Array.length a;
         a)
       buckets

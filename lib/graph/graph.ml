@@ -1,26 +1,70 @@
 type t = { n : int; m : int; adj : int array array }
 
+(* Sorts a row in place and returns it with duplicates squeezed out. *)
+let sort_dedup a =
+  Array.sort Int.compare a;
+  let len = Array.length a in
+  if len = 0 then a
+  else begin
+    let k = ref 1 in
+    for i = 1 to len - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    if !k = len then a else Array.sub a 0 !k
+  end
+
 let of_edges ~n edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
   let check v = if v < 0 || v >= n then invalid_arg "Graph.of_edges: endpoint out of range" in
-  let buckets = Array.make n [] in
+  let deg = Array.make n 0 in
   List.iter
     (fun (u, v) ->
       check u;
       check v;
       if u = v then invalid_arg "Graph.of_edges: self-loop";
-      buckets.(u) <- v :: buckets.(u);
-      buckets.(v) <- u :: buckets.(v))
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
     edges;
   let m = ref 0 in
   let adj =
     Array.map
-      (fun l ->
-        let a = Array.of_list (List.sort_uniq compare l) in
+      (fun a ->
+        let a = sort_dedup a in
         m := !m + Array.length a;
         a)
-      buckets
+      adj
   in
+  { n; m = !m / 2; adj }
+
+let of_adjacency adj =
+  let n = Array.length adj in
+  let m = ref 0 in
+  Array.iter
+    (fun a ->
+      Array.sort Int.compare a;
+      m := !m + Array.length a)
+    adj;
+  Array.iteri
+    (fun v a ->
+      Array.iteri
+        (fun i u ->
+          if u < 0 || u >= n then invalid_arg "Graph.of_adjacency: endpoint out of range";
+          if u = v then invalid_arg "Graph.of_adjacency: self-loop";
+          if i > 0 && a.(i - 1) = u then invalid_arg "Graph.of_adjacency: duplicate edge")
+        a)
+    adj;
   { n; m = !m / 2; adj }
 
 let empty n = of_edges ~n []

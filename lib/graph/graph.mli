@@ -14,6 +14,16 @@ val of_edges : n:int -> (int * int) list -> t
     @raise Invalid_argument on a self-loop, an endpoint outside
     [\[0, n)], or [n < 0]. *)
 
+val of_adjacency : int array array -> t
+(** [of_adjacency adj] builds the graph whose node [v] has exactly the
+    neighbors [adj.(v)] — the bulk-construction fast path behind
+    {!Unit_disk.build}, skipping the intermediate edge list of
+    {!of_edges}.  Takes ownership of [adj]: rows are sorted in place and
+    become the internal adjacency.  Rows must be symmetric ([u] in
+    [adj.(v)] iff [v] in [adj.(u)]) and duplicate-free — duplicates,
+    self-loops, and out-of-range endpoints raise [Invalid_argument];
+    asymmetry is not checked. *)
+
 val empty : int -> t
 (** [empty n] has [n] nodes and no edges. *)
 

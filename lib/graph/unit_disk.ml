@@ -1,17 +1,50 @@
 module Point = Manet_geom.Point
 module Grid = Manet_geom.Grid
 
+(* Hot path: every topology sample builds one of these, so edges go
+   through a flat int buffer and straight into adjacency rows — no
+   per-edge tuples, no per-node sorted lists. *)
 let build ~radius points =
   if radius <= 0. then invalid_arg "Unit_disk.build: radius must be positive";
+  let n = Array.length points in
   let grid = Grid.make ~cell_size:radius points in
-  let edges = ref [] in
+  (* Half-edges (i, j) with i < j, packed pairwise into a growable buffer. *)
+  let buf = ref (Array.make 4096 0) in
+  let len = ref 0 in
   Array.iteri
     (fun i p ->
-      List.iter
-        (fun j -> if j > i then edges := (i, j) :: !edges)
-        (Grid.within grid ~center:p ~radius))
+      Grid.iter_within grid ~center:p ~radius (fun j ->
+          if j > i then begin
+            if !len + 2 > Array.length !buf then begin
+              let b = Array.make (2 * Array.length !buf) 0 in
+              Array.blit !buf 0 b 0 !len;
+              buf := b
+            end;
+            !buf.(!len) <- i;
+            !buf.(!len + 1) <- j;
+            len := !len + 2
+          end))
     points;
-  Graph.of_edges ~n:(Array.length points) !edges
+  let buf = !buf and len = !len in
+  let deg = Array.make n 0 in
+  let k = ref 0 in
+  while !k < len do
+    deg.(buf.(!k)) <- deg.(buf.(!k)) + 1;
+    deg.(buf.(!k + 1)) <- deg.(buf.(!k + 1)) + 1;
+    k := !k + 2
+  done;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  let k = ref 0 in
+  while !k < len do
+    let i = buf.(!k) and j = buf.(!k + 1) in
+    adj.(i).(fill.(i)) <- j;
+    fill.(i) <- fill.(i) + 1;
+    adj.(j).(fill.(j)) <- i;
+    fill.(j) <- fill.(j) + 1;
+    k := !k + 2
+  done;
+  Graph.of_adjacency adj
 
 let build_brute_force ~radius points =
   if radius <= 0. then invalid_arg "Unit_disk.build_brute_force: radius must be positive";

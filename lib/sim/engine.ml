@@ -2,7 +2,7 @@ module Key = struct
   type t = { time : int; seq : int }
 
   let compare a b =
-    match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+    match Int.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
 end
 
 module H = Heap.Make (Key)

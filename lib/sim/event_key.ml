@@ -1,10 +1,11 @@
 type t = { time : int; kind : int; node : int; sender : int }
 
 let compare a b =
-  match compare a.time b.time with
+  match Int.compare a.time b.time with
   | 0 ->
-    (match compare a.kind b.kind with
-    | 0 -> (match compare a.node b.node with 0 -> compare a.sender b.sender | c -> c)
+    (match Int.compare a.kind b.kind with
+    | 0 ->
+      (match Int.compare a.node b.node with 0 -> Int.compare a.sender b.sender | c -> c)
     | c -> c)
   | c -> c
 

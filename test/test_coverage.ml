@@ -226,6 +226,39 @@ let prop_proto_matches_centralized =
           !ok)
         [ Coverage.Hop25; Coverage.Hop3 ])
 
+(* The shared cache is an optimization only: its coverage table must be
+   exactly the per-head construction, and its hop tables the public
+   CH_HOP accessors, on arbitrary connected topologies in both modes. *)
+let prop_cache_matches_uncached =
+  qtest "cache = uncached per-head construction" ~count:40 (arb_udg ~n_max:40 ())
+    (fun case ->
+      let g = (sample_of case).graph in
+      let cl = Lowest_id.cluster g in
+      List.for_all
+        (fun mode ->
+          let cache = Coverage.Cache.create g cl mode in
+          let cached = Coverage.Cache.coverages cache in
+          let ok = ref true in
+          for v = 0 to Graph.n g - 1 do
+            (match (cached.(v), Clustering.is_head cl v) with
+            | Some a, true ->
+              if not (coverages_equal a (Coverage.of_head g cl mode v)) then ok := false
+            | None, false -> ()
+            | Some _, false | None, true -> ok := false);
+            if not (Clustering.is_head cl v) then begin
+              let hop1 = Coverage.Cache.ch_hop1 cache v in
+              if not (Nodeset.equal (set_of_list (Array.to_list hop1)) (Coverage.ch_hop1 g cl v))
+              then ok := false;
+              if Array.to_list (Coverage.Cache.ch_hop2 cache v) <> Coverage.ch_hop2 g cl mode v
+              then ok := false;
+              if not (Nodeset.equal (Coverage.Cache.neighbor_heads cache v)
+                        (Coverage.ch_hop1 g cl v))
+              then ok := false
+            end
+          done;
+          !ok)
+        [ Coverage.Hop25; Coverage.Hop3 ])
+
 let () =
   Alcotest.run "coverage"
     [
@@ -253,4 +286,5 @@ let () =
           Alcotest.test_case "paper example, both modes" `Quick test_proto_matches_centralized_paper;
           prop_proto_matches_centralized;
         ] );
+      ("cache", [ prop_cache_matches_uncached ]);
     ]

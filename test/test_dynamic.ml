@@ -135,11 +135,11 @@ let test_deterministic () =
   let b = Dynamic.broadcast g cl Coverage.Hop25 ~source:0 in
   Alcotest.check nodeset "same forward set" a.forwarders b.forwarders
 
-(* Reusing a precomputed coverage array gives identical results. *)
+(* Reusing a precomputed coverage cache gives identical results. *)
 let test_shared_coverages () =
   let g, cl = paper () in
-  let coverages = Coverage.all g cl Coverage.Hop25 in
-  let a = Dynamic.broadcast ~coverages g cl Coverage.Hop25 ~source:0 in
+  let cache = Coverage.Cache.create g cl Coverage.Hop25 in
+  let a = Dynamic.broadcast ~cache g cl Coverage.Hop25 ~source:0 in
   let b = Dynamic.broadcast g cl Coverage.Hop25 ~source:0 in
   Alcotest.check nodeset "same" a.forwarders b.forwarders
 

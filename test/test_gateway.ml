@@ -126,6 +126,27 @@ let prop_selection_size_bound =
             ])
         (Manet_cluster.Clustering.heads cl))
 
+(* The batched selection used by the static backbone is exactly the
+   per-head selection, head by head. *)
+let prop_select_all_matches_per_head =
+  qtest "select_all = union of per-head selections" ~count:60 (arb_udg ()) (fun case ->
+      let g = (sample_of case).graph in
+      let cl = Lowest_id.cluster g in
+      List.for_all
+        (fun mode ->
+          let coverages = Coverage.all g cl mode in
+          let batched = Gateway_selection.select_all coverages ~n:(Manet_graph.Graph.n g) in
+          let one_by_one =
+            Array.fold_left
+              (fun acc cov ->
+                match cov with
+                | None -> acc
+                | Some cov -> Nodeset.union acc (Gateway_selection.select cov))
+              Nodeset.empty coverages
+          in
+          Nodeset.equal batched one_by_one)
+        [ Coverage.Hop25; Coverage.Hop3 ])
+
 let () =
   Alcotest.run "gateway"
     [
@@ -141,5 +162,6 @@ let () =
           Alcotest.test_case "pair fallback" `Quick test_pair_fallback;
           prop_selection_covers_targets;
           prop_selection_size_bound;
+          prop_select_all_matches_per_head;
         ] );
     ]
