@@ -10,9 +10,9 @@ module Export = Manet_graph.Export
 module Spec = Manet_topology.Spec
 module Generator = Manet_topology.Generator
 module Coverage = Manet_coverage.Coverage
-module Static = Manet_backbone.Static_backbone
-module Dynamic = Manet_backbone.Dynamic_backbone
 module Result = Manet_broadcast.Result
+module Protocol = Manet_broadcast.Protocol
+module Registry = Manet_protocols.Registry
 
 (* Shared topology arguments *)
 
@@ -95,26 +95,17 @@ let generate_cmd =
 
 (* backbone *)
 
-type backbone_algo = B_static_25 | B_static_3 | B_mo_cds | B_wu_li | B_greedy
-
 let backbone_cmd =
   let algo_arg =
+    let choices = List.map (fun p -> (p.Protocol.name, p)) Registry.backbones in
     Arg.(
       value
-      & opt
-          (enum
-             [
-               ("static-2.5", B_static_25);
-               ("static-3", B_static_3);
-               ("mo-cds", B_mo_cds);
-               ("wu-li", B_wu_li);
-               ("greedy", B_greedy);
-             ])
-          B_static_25
+      & opt (enum choices) (Registry.find_exn "static-2.5hop")
       & info [ "algo" ] ~docv:"ALGO"
           ~doc:
-            "CDS algorithm: $(b,static-2.5) / $(b,static-3) (the paper's backbone), \
-             $(b,mo-cds), $(b,wu-li) or $(b,greedy).")
+            (Printf.sprintf "CDS construction, any registered backbone protocol: %s."
+               (String.concat ", "
+                  (List.map (fun (name, _) -> Printf.sprintf "$(b,%s)" name) choices))))
   in
   let dot_arg =
     Arg.(
@@ -122,17 +113,15 @@ let backbone_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering with the CDS filled.")
   in
-  let run edges n degree seed algo dot =
+  let run edges n degree seed proto dot =
     let g, positions = topology edges n degree seed in
-    let members, label =
-      match algo with
-      | B_static_25 -> ((Static.build g Coverage.Hop25).members, "static backbone (2.5-hop)")
-      | B_static_3 -> ((Static.build g Coverage.Hop3).members, "static backbone (3-hop)")
-      | B_mo_cds -> ((Manet_baselines.Mo_cds.build g).members, "MO_CDS")
-      | B_wu_li -> ((Manet_baselines.Wu_li.build g).members, "Wu-Li marking + rules 1,2")
-      | B_greedy -> (Manet_mcds.Greedy_cds.build g, "greedy CDS (Guha-Khuller)")
+    let members =
+      match (proto.Protocol.prepare (Protocol.make_env g)).Protocol.members with
+      | Some members -> members
+      | None -> assert false (* Registry.backbones only lists materialized structures *)
     in
-    Format.printf "%s: %d of %d nodes@." label (Nodeset.cardinal members) (Graph.n g);
+    Format.printf "%s: %d of %d nodes@." proto.Protocol.name (Nodeset.cardinal members)
+      (Graph.n g);
     Format.printf "members = %a@." Nodeset.pp members;
     Format.printf "verified CDS: %b@." (Manet_graph.Dominating.is_cds g members);
     match dot with
@@ -146,94 +135,78 @@ let backbone_cmd =
 
 (* broadcast *)
 
-type broadcast_proto =
-  | P_dynamic of Coverage.mode
-  | P_static of Coverage.mode
-  | P_mo_cds
-  | P_flooding
-  | P_dp
-  | P_pdp
-  | P_mpr
-  | P_wu_li
-
 let broadcast_cmd =
   let proto_arg =
+    let choices = List.map (fun p -> (p.Protocol.name, p)) Registry.all in
     Arg.(
       value
-      & opt
-          (enum
-             [
-               ("dynamic-2.5", P_dynamic Coverage.Hop25);
-               ("dynamic-3", P_dynamic Coverage.Hop3);
-               ("static-2.5", P_static Coverage.Hop25);
-               ("static-3", P_static Coverage.Hop3);
-               ("mo-cds", P_mo_cds);
-               ("flooding", P_flooding);
-               ("dp", P_dp);
-               ("pdp", P_pdp);
-               ("mpr", P_mpr);
-               ("wu-li", P_wu_li);
-             ])
-          (P_dynamic Coverage.Hop25)
-      & info [ "proto" ] ~docv:"PROTO" ~doc:"Broadcast protocol.")
+      & opt (enum choices) (Registry.find_exn "dynamic-2.5hop")
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:"Broadcast protocol, any registered name (see $(b,manet protocols)).")
+  in
+  let loss_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Drop each reception independently with probability P (failure injection).")
   in
   let trace_arg =
     Arg.(
       value & flag
-      & info [ "trace" ]
-          ~doc:
-            "Print the transmission timeline (time: nodes).  Available for the dynamic backbone              and the SI protocols.")
+      & info [ "trace" ] ~doc:"Print the transmission timeline (time: nodes).")
   in
-  let run edges n degree seed proto source trace =
+  let run edges n degree seed proto source loss trace =
     let g, _ = topology edges n degree seed in
     if source < 0 || source >= Graph.n g then
       invalid_arg (Printf.sprintf "source %d out of range (n=%d)" source (Graph.n g));
-    let cl () = Manet_cluster.Lowest_id.cluster g in
-    let si_traced in_cds =
-      Manet_broadcast.Engine.run_traced g ~source ~initial:()
-        ~decide:(fun ~node ~from:_ ~payload:() -> if in_cds node then Some () else None)
-    in
-    let r, timeline =
-      match proto with
-      | P_dynamic mode -> Dynamic.broadcast_traced g (cl ()) mode ~source
-      | P_static mode ->
-        let bb = Static.build ~clustering:(cl ()) g mode in
-        si_traced (Static.in_backbone bb)
-      | P_mo_cds ->
-        let m = Manet_baselines.Mo_cds.build g in
-        si_traced (Manet_baselines.Mo_cds.in_cds m)
-      | P_flooding -> Manet_broadcast.Engine.run_traced g ~source ~initial:()
-          ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ())
-      | P_dp -> (Manet_baselines.Dominant_pruning.broadcast g ~source, [])
-      | P_pdp -> (Manet_baselines.Partial_dominant_pruning.broadcast g ~source, [])
-      | P_mpr -> (Manet_baselines.Mpr.broadcast g ~source, [])
-      | P_wu_li ->
-        let w = Manet_baselines.Wu_li.build g in
-        si_traced (Manet_baselines.Wu_li.in_cds w)
-    in
+    let env = Protocol.make_env ~rng:(Manet_rng.Rng.create ~seed) g in
+    let mode = match loss with None -> Protocol.Perfect | Some l -> Protocol.Lossy l in
+    let r, timeline = (proto.Protocol.prepare env).Protocol.run ~source ~mode in
     Format.printf "%a@." Result.pp r;
     Format.printf "forwarders = %a@." Nodeset.pp r.forwarders;
     if trace then begin
-      if timeline = [] then Format.printf "(no timeline available for this protocol)@."
-      else begin
-        let by_time = Hashtbl.create 16 in
-        List.iter
-          (fun (t, v) ->
-            Hashtbl.replace by_time t (v :: Option.value ~default:[] (Hashtbl.find_opt by_time t)))
-          timeline;
-        let times = Hashtbl.fold (fun t _ acc -> t :: acc) by_time [] |> List.sort compare in
-        List.iter
-          (fun t ->
-            Format.printf "t=%d:" t;
-            List.iter (Format.printf " %d") (List.rev (Hashtbl.find by_time t));
-            Format.printf "@.")
-          times
-      end
+      let by_time = Hashtbl.create 16 in
+      List.iter
+        (fun (t, v) ->
+          Hashtbl.replace by_time t (v :: Option.value ~default:[] (Hashtbl.find_opt by_time t)))
+        timeline;
+      let times = Hashtbl.fold (fun t _ acc -> t :: acc) by_time [] |> List.sort compare in
+      List.iter
+        (fun t ->
+          Format.printf "t=%d:" t;
+          List.iter (Format.printf " %d") (List.rev (Hashtbl.find by_time t));
+          Format.printf "@.")
+        times
     end
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Run one broadcast and report the forward-node set.")
-    Term.(const run $ edges_arg $ n_arg $ degree_arg $ seed_arg $ proto_arg $ source_arg $ trace_arg)
+    Term.(
+      const run $ edges_arg $ n_arg $ degree_arg $ seed_arg $ proto_arg $ source_arg $ loss_arg
+      $ trace_arg)
+
+(* protocols *)
+
+let protocols_cmd =
+  let run () =
+    let width =
+      List.fold_left (fun acc p -> max acc (String.length p.Protocol.name)) 0 Registry.all
+    in
+    List.iter
+      (fun p ->
+        Printf.printf "%-*s  %-4s  %-5s  %s\n" width p.Protocol.name
+          (Protocol.family_tag p.Protocol.family)
+          (if p.Protocol.has_build then "build" else "-")
+          p.Protocol.description)
+      Registry.all
+  in
+  Cmd.v
+    (Cmd.info "protocols"
+       ~doc:
+         "List every registered broadcast protocol (name, family: SI/SD/prob, whether it has a \
+          proactive build phase, description).")
+    Term.(const run $ const ())
 
 (* cluster *)
 
@@ -313,4 +286,7 @@ let () =
     Cmd.info "manet" ~version:"1.0.0"
       ~doc:"Cluster-based backbone infrastructure for broadcasting in MANETs (Lou & Wu, IPPS'03)."
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; cluster_cmd; backbone_cmd; broadcast_cmd; figures_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; cluster_cmd; backbone_cmd; broadcast_cmd; protocols_cmd; figures_cmd ]))

@@ -3,8 +3,10 @@
    This is the "dense network" scenario from the paper's introduction:
    broadcast storms make blind flooding collapse as density grows, and
    backbone-based protocols keep the forward-node count near the CDS
-   size.  We print, for a common random network and source, each
-   protocol's forward-node count, delivery and latency.
+   size.  We iterate the whole protocol registry on a common random
+   network and source, printing each protocol's forward-node count,
+   delivery and latency — any newly registered protocol shows up here
+   with no code change.
 
    Run with:  dune exec examples/broadcast_comparison.exe [seed] *)
 
@@ -12,14 +14,9 @@ module Rng = Manet_rng.Rng
 module Spec = Manet_topology.Spec
 module Generator = Manet_topology.Generator
 module Graph = Manet_graph.Graph
-module Coverage = Manet_coverage.Coverage
-module Static = Manet_backbone.Static_backbone
-module Dynamic = Manet_backbone.Dynamic_backbone
 module Result = Manet_broadcast.Result
-
-let row name (r : Result.t) =
-  Printf.printf "%-24s %10d %12.3f %10d\n" name (Result.forward_count r)
-    (Result.delivery_ratio r) r.completion_time
+module Protocol = Manet_broadcast.Protocol
+module Registry = Manet_protocols.Registry
 
 let compare_on ~n ~d ~seed =
   Printf.printf "\n--- n = %d, average degree %g (seed %d) ---\n" n d seed;
@@ -31,18 +28,15 @@ let compare_on ~n ~d ~seed =
   Printf.printf "realized degree %.2f, %d clusters, source %d\n" (Graph.avg_degree g)
     (Manet_cluster.Clustering.num_clusters cl)
     source;
-  Printf.printf "%-24s %10s %12s %10s\n" "protocol" "forwards" "delivery" "hops";
-  row "flooding" (Manet_baselines.Flooding.broadcast g ~source);
-  let wl = Manet_baselines.Wu_li.build g in
-  row "wu-li (SI)" (Manet_baselines.Wu_li.broadcast wl ~source);
-  let mo = Manet_baselines.Mo_cds.build ~clustering:cl g in
-  row "mo_cds (SI)" (Manet_baselines.Mo_cds.broadcast mo ~source);
-  let bb = Static.build ~clustering:cl g Coverage.Hop25 in
-  row "static backbone (SI)" (Static.broadcast bb ~source);
-  row "dp (SD)" (Manet_baselines.Dominant_pruning.broadcast g ~source);
-  row "pdp (SD)" (Manet_baselines.Partial_dominant_pruning.broadcast g ~source);
-  row "mpr (SD)" (Manet_baselines.Mpr.broadcast g ~source);
-  row "dynamic backbone (SD)" (Dynamic.broadcast g cl Coverage.Hop25 ~source)
+  Printf.printf "%-24s %6s %10s %12s %10s\n" "protocol" "family" "forwards" "delivery" "hops";
+  List.iter
+    (fun p ->
+      let env = Protocol.make_env ~clustering:(lazy cl) ~rng:(Rng.split rng) g in
+      let r, _ = (p.Protocol.prepare env).Protocol.run ~source ~mode:Protocol.Perfect in
+      Printf.printf "%-24s %6s %10d %12.3f %10d\n" p.Protocol.name
+        (Protocol.family_tag p.Protocol.family)
+        (Result.forward_count r) (Result.delivery_ratio r) r.Result.completion_time)
+    Registry.all
 
 let () =
   let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 7 in

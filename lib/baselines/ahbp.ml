@@ -1,9 +1,10 @@
 module Graph = Manet_graph.Graph
 module Nodeset = Manet_graph.Nodeset
+module Protocol = Manet_broadcast.Protocol
 
 type packet = { brg : Nodeset.t }
 
-let broadcast g ~source =
+let pipeline g ~source =
   let select ~node ~upstream =
     let universe =
       match upstream with
@@ -19,11 +20,22 @@ let broadcast g ~source =
     in
     Neighbor_cover.forwards g ~node ~universe
   in
-  Manet_broadcast.Engine.run g ~source
-    ~initial:{ brg = select ~node:source ~upstream:None }
-    ~decide:(fun ~node ~from ~payload ->
+  ( { brg = select ~node:source ~upstream:None },
+    fun ~node ~from ~payload ->
       if Nodeset.mem node payload.brg then
         Some { brg = select ~node ~upstream:(Some (from, payload.brg)) }
-      else None)
+      else None )
+
+let broadcast g ~source =
+  let initial, decide = pipeline g ~source in
+  Manet_broadcast.Engine.run g ~source ~initial ~decide
 
 let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)
+
+let protocol =
+  Protocol.per_broadcast ~name:"ahbp"
+    ~description:"ad hoc broadcast protocol (Peng and Lu): BRG designation excluding the upstream BRG set"
+    ~family:Protocol.Source_dependent
+    (fun env ~source ~mode ->
+      let initial, decide = pipeline env.Protocol.graph ~source in
+      Protocol.run_decide env ~source ~mode ~initial ~decide)

@@ -21,3 +21,17 @@ val broadcast :
     the source is out of range. *)
 
 val forward_count : rng:Manet_rng.Rng.t -> Manet_graph.Graph.t -> source:int -> int
+
+val broadcast_traced :
+  ?window:int ->
+  ?threshold:int ->
+  rng:Manet_rng.Rng.t ->
+  Manet_graph.Graph.t ->
+  source:int ->
+  Manet_broadcast.Result.t * (int * int) list
+(** Like {!broadcast}, additionally returning the transmission timeline
+    as [(time, node)] pairs in transmission order. *)
+
+val protocol : Manet_broadcast.Protocol.t
+(** [counter] in the protocol registry (defaults: window 4, threshold 3);
+    frozen-replay semantics under loss, like [self-pruning]. *)

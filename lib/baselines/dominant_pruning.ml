@@ -1,10 +1,13 @@
 module Graph = Manet_graph.Graph
 module Nodeset = Manet_graph.Nodeset
+module Protocol = Manet_broadcast.Protocol
 
 (* The packet carries the sender's forward designation. *)
 type packet = { forwards : Nodeset.t }
 
-let broadcast g ~source =
+(* The per-broadcast pipeline, shared by the direct entry point and the
+   registry protocol. *)
+let pipeline g ~source =
   let forwards_of ~node ~upstream =
     let universe =
       match upstream with
@@ -14,11 +17,22 @@ let broadcast g ~source =
     in
     Neighbor_cover.forwards g ~node ~universe
   in
-  Manet_broadcast.Engine.run g ~source
-    ~initial:{ forwards = forwards_of ~node:source ~upstream:None }
-    ~decide:(fun ~node ~from ~payload ->
+  ( { forwards = forwards_of ~node:source ~upstream:None },
+    fun ~node ~from ~payload ->
       if Nodeset.mem node payload.forwards then
         Some { forwards = forwards_of ~node ~upstream:(Some from) }
-      else None)
+      else None )
+
+let broadcast g ~source =
+  let initial, decide = pipeline g ~source in
+  Manet_broadcast.Engine.run g ~source ~initial ~decide
 
 let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)
+
+let protocol =
+  Protocol.per_broadcast ~name:"dp"
+    ~description:"dominant pruning (Lim and Kim): senders designate a greedy 2-hop cover"
+    ~family:Protocol.Source_dependent
+    (fun env ~source ~mode ->
+      let initial, decide = pipeline env.Protocol.graph ~source in
+      Protocol.run_decide env ~source ~mode ~initial ~decide)

@@ -1,3 +1,5 @@
 let broadcast g ~source =
   Manet_broadcast.Engine.run g ~source ~initial:()
     ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ())
+
+let protocol = Manet_broadcast.Protocol.flooding

@@ -6,3 +6,7 @@
     line. *)
 
 val broadcast : Manet_graph.Graph.t -> source:int -> Manet_broadcast.Result.t
+
+val protocol : Manet_broadcast.Protocol.t
+(** [flooding] in the protocol registry (re-exported
+    {!Manet_broadcast.Protocol.flooding}). *)

@@ -73,3 +73,16 @@ let broadcast t ~source =
 let ack_messages t =
   (* one acknowledgement per tree edge (every member except the root) *)
   Nodeset.cardinal t.members - 1
+
+let protocol =
+  Manet_broadcast.Protocol.per_broadcast ~name:"fwd-tree"
+    ~description:"Pagani-Rossi cluster-based forwarding tree rooted at the source's clusterhead"
+    ~family:Manet_broadcast.Protocol.Source_dependent
+    (fun env ~source ~mode ->
+      let open Manet_broadcast.Protocol in
+      let tree =
+        build env.graph (Lazy.force env.clustering) Manet_coverage.Coverage.Hop25 ~source
+      in
+      run_decide env ~source ~mode ~initial:()
+        ~decide:(fun ~node ~from:_ ~payload:() ->
+          if Nodeset.mem node tree.members then Some () else None))

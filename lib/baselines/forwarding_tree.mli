@@ -45,3 +45,9 @@ val broadcast : t -> source:int -> Manet_broadcast.Result.t
 val ack_messages : t -> int
 (** Transmissions of one full acknowledgement wave: one ack per tree
     edge, flowing leaf-to-root. *)
+
+val protocol : Manet_broadcast.Protocol.t
+(** [fwd-tree] in the protocol registry.  The tree is rooted at the
+    source's clusterhead, so construction happens per broadcast (no
+    proactive phase); forwarding is SI-CDS over the tree members, over
+    the 2.5-hop coverage sets. *)

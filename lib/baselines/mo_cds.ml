@@ -42,3 +42,10 @@ let in_cds t v = Nodeset.mem v t.members
 let is_cds t = Manet_graph.Dominating.is_cds t.graph t.members
 
 let broadcast t ~source = Manet_broadcast.Si.run t.graph ~in_cds:(in_cds t) ~source
+
+let protocol =
+  Manet_broadcast.Protocol.si ~name:"mo_cds"
+    ~description:"message-optimal CDS of Alzoubi, Wan and Frieder (MobiHoc'02), the paper's comparator"
+    ~build:(fun env ->
+      let open Manet_broadcast.Protocol in
+      (build ~clustering:(Lazy.force env.clustering) env.graph).members)

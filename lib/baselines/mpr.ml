@@ -41,3 +41,18 @@ let broadcast ?sets g ~source =
     ~decide:(fun ~node ~from ~payload:() -> if Nodeset.mem node sets.(from) then Some () else None)
 
 let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)
+
+let protocol =
+  Manet_broadcast.Protocol.with_build ~name:"mpr"
+    ~description:"multipoint relays (Qayyum et al., HICSS'02): relay iff MPR of the upstream sender"
+    ~family:Manet_broadcast.Protocol.Source_dependent
+    (fun env ->
+      let sets = mpr_sets env.Manet_broadcast.Protocol.graph in
+      {
+        Manet_broadcast.Protocol.members = None;
+        run =
+          (fun ~source ~mode ->
+            Manet_broadcast.Protocol.run_decide env ~source ~mode ~initial:()
+              ~decide:(fun ~node ~from ~payload:() ->
+                if Nodeset.mem node sets.(from) then Some () else None));
+      })

@@ -22,3 +22,7 @@ val broadcast :
     broadcasts). *)
 
 val forward_count : Manet_graph.Graph.t -> source:int -> int
+
+val protocol : Manet_broadcast.Protocol.t
+(** [mpr] in the protocol registry: {!mpr_sets} as the (proactive) build
+    phase, relay-iff-designated as the per-broadcast decide pipeline. *)

@@ -1,9 +1,10 @@
 module Graph = Manet_graph.Graph
 module Nodeset = Manet_graph.Nodeset
+module Protocol = Manet_broadcast.Protocol
 
 type packet = { forwards : Nodeset.t }
 
-let broadcast g ~source =
+let pipeline g ~source =
   let forwards_of ~node ~upstream =
     let universe =
       match upstream with
@@ -27,11 +28,22 @@ let broadcast g ~source =
     in
     Neighbor_cover.forwards g ~node ~universe
   in
-  Manet_broadcast.Engine.run g ~source
-    ~initial:{ forwards = forwards_of ~node:source ~upstream:None }
-    ~decide:(fun ~node ~from ~payload ->
+  ( { forwards = forwards_of ~node:source ~upstream:None },
+    fun ~node ~from ~payload ->
       if Nodeset.mem node payload.forwards then
         Some { forwards = forwards_of ~node ~upstream:(Some from) }
-      else None)
+      else None )
+
+let broadcast g ~source =
+  let initial, decide = pipeline g ~source in
+  Manet_broadcast.Engine.run g ~source ~initial ~decide
 
 let forward_count g ~source = Manet_broadcast.Result.forward_count (broadcast g ~source)
+
+let protocol =
+  Protocol.per_broadcast ~name:"pdp"
+    ~description:"partial dominant pruning (Lou and Wu, TMC'02): DP minus the common-neighbor coverage"
+    ~family:Protocol.Source_dependent
+    (fun env ~source ~mode ->
+      let initial, decide = pipeline env.Protocol.graph ~source in
+      Protocol.run_decide env ~source ~mode ~initial ~decide)

@@ -10,3 +10,8 @@
 val broadcast : Manet_graph.Graph.t -> source:int -> Manet_broadcast.Result.t
 
 val forward_count : Manet_graph.Graph.t -> source:int -> int
+
+val protocol : Manet_broadcast.Protocol.t
+(** This scheme in the protocol registry: no build phase, the
+    designation pipeline runs per broadcast through the uniform engine
+    (and natively under loss). *)

@@ -14,7 +14,7 @@ module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
 
 type event = Reception of info | Decide
 
-let broadcast ?(window = 4) ~rng g ~source =
+let broadcast_traced ?(window = 4) ~rng g ~source =
   if window < 1 then invalid_arg "Passive_clustering.broadcast: window must be at least 1";
   let n = Graph.n g in
   if source < 0 || source >= n then
@@ -28,9 +28,11 @@ let broadcast ?(window = 4) ~rng g ~source =
   let forwarders = ref Nodeset.empty in
   let completion = ref 0 in
   let events = H.create () in
+  let trace = ref [] in
   let transmit time v payload =
     transmitted.(v) <- true;
     forwarders := Nodeset.add v !forwarders;
+    trace := (time, v) :: !trace;
     Graph.iter_neighbors g v (fun u ->
         H.push events (Manet_sim.Event_key.reception ~time:(time + 1) ~node:u ~sender:v) (Reception payload))
   in
@@ -74,7 +76,20 @@ let broadcast ?(window = 4) ~rng g ~source =
   let result =
     { Manet_broadcast.Result.source; forwarders = !forwarders; delivered; completion_time = !completion }
   in
-  { result; roles }
+  ({ result; roles }, List.rev !trace)
+
+let broadcast ?window ~rng g ~source = fst (broadcast_traced ?window ~rng g ~source)
+
+let protocol =
+  Manet_broadcast.Protocol.per_broadcast ~name:"passive"
+    ~description:"passive clustering (Kwon and Gerla): roles declared in-flight, gateways may suppress"
+    ~family:Manet_broadcast.Protocol.Probabilistic
+    (fun env ~source ~mode ->
+      let open Manet_broadcast.Protocol in
+      frozen_lossy env ~source ~mode
+        ~run:(fun ~source ->
+          let p, trace = broadcast_traced ~rng:env.rng env.graph ~source in
+          (p.result, trace)))
 
 let collect t role =
   let s = ref Nodeset.empty in

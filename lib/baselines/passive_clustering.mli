@@ -40,3 +40,16 @@ val broadcast :
 val heads : t -> Manet_graph.Nodeset.t
 
 val gateways : t -> Manet_graph.Nodeset.t
+
+val broadcast_traced :
+  ?window:int ->
+  rng:Manet_rng.Rng.t ->
+  Manet_graph.Graph.t ->
+  source:int ->
+  t * (int * int) list
+(** Like {!broadcast}, additionally returning the transmission timeline
+    as [(time, node)] pairs in transmission order. *)
+
+val protocol : Manet_broadcast.Protocol.t
+(** [passive] in the protocol registry; frozen-replay semantics under
+    loss, like [self-pruning]. *)

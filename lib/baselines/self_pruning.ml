@@ -6,7 +6,7 @@ module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
 
 type event = Reception | Expiry
 
-let broadcast ?(window = 4) ~rng g ~source =
+let broadcast_traced ?(window = 4) ~rng g ~source =
   if window < 1 then invalid_arg "Self_pruning.broadcast: window must be at least 1";
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Self_pruning.broadcast: source out of range";
@@ -19,9 +19,11 @@ let broadcast ?(window = 4) ~rng g ~source =
   let forwarders = ref Nodeset.empty in
   let completion = ref 0 in
   let events = H.create () in
+  let trace = ref [] in
   let transmit time v =
     transmitted.(v) <- true;
     forwarders := Nodeset.add v !forwarders;
+    trace := (time, v) :: !trace;
     Graph.iter_neighbors g v (fun u ->
         H.push events (Manet_sim.Event_key.reception ~time:(time + 1) ~node:u ~sender:v) Reception)
   in
@@ -54,7 +56,19 @@ let broadcast ?(window = 4) ~rng g ~source =
       drain ()
   in
   drain ();
-  { Manet_broadcast.Result.source; forwarders = !forwarders; delivered; completion_time = !completion }
+  ( { Manet_broadcast.Result.source; forwarders = !forwarders; delivered; completion_time = !completion },
+    List.rev !trace )
+
+let broadcast ?window ~rng g ~source = fst (broadcast_traced ?window ~rng g ~source)
 
 let forward_count ~rng g ~source =
   Manet_broadcast.Result.forward_count (broadcast ~rng g ~source)
+
+let protocol =
+  Manet_broadcast.Protocol.per_broadcast ~name:"self-pruning"
+    ~description:"backoff neighbor-coverage self-pruning (Lim and Kim): resign if heard copies cover N(v)"
+    ~family:Manet_broadcast.Protocol.Probabilistic
+    (fun env ~source ~mode ->
+      let open Manet_broadcast.Protocol in
+      frozen_lossy env ~source ~mode
+        ~run:(fun ~source -> broadcast_traced ~rng:env.rng env.graph ~source))

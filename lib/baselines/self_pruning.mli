@@ -29,3 +29,18 @@ val broadcast :
     range. *)
 
 val forward_count : rng:Manet_rng.Rng.t -> Manet_graph.Graph.t -> source:int -> int
+
+val broadcast_traced :
+  ?window:int ->
+  rng:Manet_rng.Rng.t ->
+  Manet_graph.Graph.t ->
+  source:int ->
+  Manet_broadcast.Result.t * (int * int) list
+(** Like {!broadcast}, additionally returning the transmission timeline
+    as [(time, node)] pairs in transmission order. *)
+
+val protocol : Manet_broadcast.Protocol.t
+(** [self-pruning] in the protocol registry.  Backoffs are drawn from
+    the environment's rng; under loss the forward set is frozen from a
+    loss-free run and replayed ({!Manet_broadcast.Protocol.frozen_lossy}),
+    since the backoff timers have no loss semantics of their own. *)

@@ -58,3 +58,8 @@ let in_cds t v = Nodeset.mem v t.members
 let is_cds t = Manet_graph.Dominating.is_cds t.graph t.members
 
 let broadcast t ~source = Manet_broadcast.Si.run t.graph ~in_cds:(in_cds t) ~source
+
+let protocol =
+  Manet_broadcast.Protocol.si ~name:"tree-cds"
+    ~description:"spanning-tree CDS of Alzoubi, Wan and Frieder (HICSS-35): BFS-ranked MIS plus parents"
+    ~build:(fun env -> (build env.Manet_broadcast.Protocol.graph).members)

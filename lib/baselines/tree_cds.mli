@@ -26,3 +26,7 @@ val in_cds : t -> int -> bool
 val is_cds : t -> bool
 
 val broadcast : t -> source:int -> Manet_broadcast.Result.t
+
+val protocol : Manet_broadcast.Protocol.t
+(** [tree-cds] in the protocol registry: {!build} as the build phase,
+    SI-CDS forwarding over the members. *)

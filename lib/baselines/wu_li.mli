@@ -28,3 +28,7 @@ val broadcast : t -> source:int -> Manet_broadcast.Result.t
 (** SI broadcast over the surviving marked nodes; if no node is marked
     (complete graphs), the source's single transmission already covers
     everyone. *)
+
+val protocol : Manet_broadcast.Protocol.t
+(** [wu-li] in the protocol registry: {!build} as the build phase,
+    SI-CDS forwarding over {!val-members}. *)

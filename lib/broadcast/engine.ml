@@ -3,7 +3,12 @@ module Nodeset = Manet_graph.Nodeset
 
 module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
 
-let run_traced g ~source ~initial ~decide =
+let never_drop () = false
+
+(* The one event loop shared by every decide-style execution: the
+   perfect engine ([drop] never fires), and the lossy engine ([drop]
+   draws from its generator once per reception, in processing order). *)
+let run_core ?(drop = never_drop) g ~source ~initial ~decide =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Engine.run: source out of range";
   let delivered = Array.make n false in
@@ -25,21 +30,25 @@ let run_traced g ~source ~initial ~decide =
     match H.pop receptions with
     | None -> ()
     | Some ({ Manet_sim.Event_key.time; node = receiver; sender; _ }, payload) ->
-      if not delivered.(receiver) then begin
-        delivered.(receiver) <- true;
-        completion := time
-      end;
-      (* Every copy is offered to the node until it transmits: a forward
-         designation can arrive in a later copy than the first. *)
-      if not transmitted.(receiver) then begin
-        match decide ~node:receiver ~from:sender ~payload with
-        | Some p -> transmit time receiver p
-        | None -> ()
+      if not (drop ()) then begin
+        if not delivered.(receiver) then begin
+          delivered.(receiver) <- true;
+          completion := time
+        end;
+        (* Every copy is offered to the node until it transmits: a forward
+           designation can arrive in a later copy than the first. *)
+        if not transmitted.(receiver) then begin
+          match decide ~node:receiver ~from:sender ~payload with
+          | Some p -> transmit time receiver p
+          | None -> ()
+        end
       end;
       drain ()
   in
   drain ();
   ( { Result.source; forwarders = !forwarders; delivered; completion_time = !completion },
     List.rev !trace )
+
+let run_traced g ~source ~initial ~decide = run_core g ~source ~initial ~decide
 
 let run g ~source ~initial ~decide = fst (run_traced g ~source ~initial ~decide)

@@ -46,3 +46,18 @@ val run_traced :
 (** Like {!run}, additionally returning the transmission schedule as
     [(time, node)] pairs in transmission order — a timeline for
     inspection and visualization. *)
+
+val run_core :
+  ?drop:(unit -> bool) ->
+  Manet_graph.Graph.t ->
+  source:int ->
+  initial:'a ->
+  decide:(node:int -> from:int -> payload:'a -> 'a option) ->
+  Result.t * (int * int) list
+(** The shared event loop behind {!run}, {!run_traced} and {!Lossy.run}:
+    [drop] is consulted once per reception event, in (time, receiver,
+    sender) processing order; a [true] verdict discards that reception
+    before the node sees it.  Defaults to never dropping, which is
+    exactly {!run_traced}.  {!Lossy} and [Protocol] pass a closure that
+    draws from their generator, so one code path serves the perfect and
+    the failure-injection engines. *)

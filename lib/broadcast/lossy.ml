@@ -1,47 +1,13 @@
-module Graph = Manet_graph.Graph
-module Nodeset = Manet_graph.Nodeset
 module Rng = Manet_rng.Rng
 
-module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
+let run_traced g ~rng ~loss ~source ~initial ~decide =
+  if loss < 0. || loss > 1. then invalid_arg "Lossy.run: loss must be within [0, 1]";
+  Engine.run_core ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss) g ~source ~initial ~decide
 
 let run g ~rng ~loss ~source ~initial ~decide =
-  if loss < 0. || loss > 1. then invalid_arg "Lossy.run: loss must be within [0, 1]";
-  let n = Graph.n g in
-  if source < 0 || source >= n then invalid_arg "Lossy.run: source out of range";
-  let delivered = Array.make n false in
-  let transmitted = Array.make n false in
-  let forwarders = ref Nodeset.empty in
-  let completion = ref 0 in
-  let receptions = H.create () in
-  let transmit time v payload =
-    transmitted.(v) <- true;
-    forwarders := Nodeset.add v !forwarders;
-    Graph.iter_neighbors g v (fun u ->
-        H.push receptions (Manet_sim.Event_key.reception ~time:(time + 1) ~node:u ~sender:v) payload)
-  in
-  delivered.(source) <- true;
-  transmit 0 source initial;
-  let rec drain () =
-    match H.pop receptions with
-    | None -> ()
-    | Some ({ Manet_sim.Event_key.time; node = receiver; sender; _ }, payload) ->
-      let lost = loss > 0. && Rng.float rng 1. < loss in
-      if not lost then begin
-        if not delivered.(receiver) then begin
-          delivered.(receiver) <- true;
-          completion := time
-        end;
-        if not transmitted.(receiver) then begin
-          match decide ~node:receiver ~from:sender ~payload with
-          | Some p -> transmit time receiver p
-          | None -> ()
-        end
-      end;
-      drain ()
-  in
-  drain ();
-  { Result.source; forwarders = !forwarders; delivered; completion_time = !completion }
+  fst (run_traced g ~rng ~loss ~source ~initial ~decide)
 
-let flooding_delivery g ~rng ~loss ~source =
-  Result.delivery_ratio
-    (run g ~rng ~loss ~source ~initial:() ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ()))
+let delivery_ratio p g ~rng ~loss ~source =
+  Protocol.delivery_ratio p (Protocol.make_env ~rng g) ~loss ~source
+
+let flooding_delivery g ~rng ~loss ~source = delivery_ratio Protocol.flooding g ~rng ~loss ~source

@@ -9,7 +9,9 @@
     storm literature discusses (used by the ext-lossy experiment).
 
     Deterministic given the generator: drops are drawn from the supplied
-    {!Manet_rng.Rng.t} in (time, receiver, sender) processing order. *)
+    {!Manet_rng.Rng.t} in (time, receiver, sender) processing order.
+    The implementation is {!Engine.run_core} with a drop closure — one
+    event loop serves the perfect and the lossy engine. *)
 
 val run :
   Manet_graph.Graph.t ->
@@ -24,7 +26,32 @@ val run :
     @raise Invalid_argument if [loss] is outside [\[0, 1\]] or [source]
     is out of range. *)
 
+val run_traced :
+  Manet_graph.Graph.t ->
+  rng:Manet_rng.Rng.t ->
+  loss:float ->
+  source:int ->
+  initial:'a ->
+  decide:(node:int -> from:int -> payload:'a -> 'a option) ->
+  Result.t * (int * int) list
+(** Like {!run}, additionally returning the transmission timeline as
+    [(time, node)] pairs in transmission order. *)
+
+val delivery_ratio :
+  Protocol.t ->
+  Manet_graph.Graph.t ->
+  rng:Manet_rng.Rng.t ->
+  loss:float ->
+  source:int ->
+  float
+(** [delivery_ratio p g ~rng ~loss ~source]: delivery ratio of one
+    broadcast of protocol [p] under per-reception loss — the generic
+    failure-injection measurement, available for {e every} protocol.
+    Cluster-based protocols are prepared over lowest-ID clustering; use
+    {!Protocol.delivery_ratio} with an explicit environment to share a
+    clustering or a build across runs. *)
+
 val flooding_delivery :
   Manet_graph.Graph.t -> rng:Manet_rng.Rng.t -> loss:float -> source:int -> float
-(** Convenience: delivery ratio of blind flooding under the given loss —
-    the redundancy upper bound. *)
+(** Convenience: {!delivery_ratio} of {!Protocol.flooding} — the
+    redundancy upper bound. *)

@@ -1,0 +1,107 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Rng = Manet_rng.Rng
+
+type family = Source_independent | Source_dependent | Probabilistic
+
+let family_tag = function
+  | Source_independent -> "SI"
+  | Source_dependent -> "SD"
+  | Probabilistic -> "prob"
+
+type env = {
+  graph : Graph.t;
+  clustering : Manet_cluster.Clustering.t Lazy.t;
+  rng : Rng.t;
+}
+
+let make_env ?clustering ?rng graph =
+  let clustering =
+    match clustering with
+    | Some c -> c
+    | None -> lazy (Manet_cluster.Lowest_id.cluster graph)
+  in
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0 in
+  { graph; clustering; rng }
+
+type mode = Perfect | Lossy of float
+
+type built = {
+  members : Nodeset.t option;
+  run : source:int -> mode:mode -> Result.t * (int * int) list;
+}
+
+type t = {
+  name : string;
+  description : string;
+  family : family;
+  has_build : bool;
+  prepare : env -> built;
+}
+
+(* The uniform pipeline: one engine core, three modes.  A [Lossy 0.]
+   drop closure never draws from the generator (see [Lossy.run]), so
+   loss 0 is bit-identical to [Perfect]. *)
+let run_decide env ~source ~mode ~initial ~decide =
+  match mode with
+  | Perfect -> Engine.run_traced env.graph ~source ~initial ~decide
+  | Lossy loss ->
+    if loss < 0. || loss > 1. then invalid_arg "Protocol.run: loss must be within [0, 1]";
+    let rng = env.rng in
+    Engine.run_core
+      ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss)
+      env.graph ~source ~initial ~decide
+
+let si_decide members ~node ~from:_ ~payload:() =
+  if Nodeset.mem node members then Some () else None
+
+let si ~name ~description ~build =
+  {
+    name;
+    description;
+    family = Source_independent;
+    has_build = true;
+    prepare =
+      (fun env ->
+        let members = build env in
+        {
+          members = Some members;
+          run = (fun ~source ~mode -> run_decide env ~source ~mode ~initial:() ~decide:(si_decide members));
+        });
+  }
+
+let with_build ~name ~description ~family prepare =
+  { name; description; family; has_build = true; prepare }
+
+let per_broadcast ~name ~description ~family run =
+  {
+    name;
+    description;
+    family;
+    has_build = false;
+    prepare = (fun env -> { members = None; run = (fun ~source ~mode -> run env ~source ~mode) });
+  }
+
+let frozen_lossy env ~run ~source ~mode =
+  match mode with
+  | Perfect -> run ~source
+  | Lossy loss when loss = 0. ->
+    (* No reception can drop: keep the native event loop so loss 0 is
+       bit-identical to [Perfect], like everywhere else. *)
+    run ~source
+  | Lossy _ ->
+    let frozen, _ = run ~source in
+    let fwd = frozen.Result.forwarders in
+    run_decide env ~source ~mode ~initial:() ~decide:(si_decide fwd)
+
+let delivery_ratio p env ~loss ~source =
+  let built = p.prepare env in
+  let r, _ = built.run ~source ~mode:(Lossy loss) in
+  Result.delivery_ratio r
+
+let flooding =
+  per_broadcast ~name:"flooding"
+    ~description:"blind flooding: every node forwards its first copy (Ni et al.'s broadcast storm)"
+    ~family:Source_independent
+    (fun env ~source ~mode ->
+      run_decide env ~source ~mode ~initial:() ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ()))

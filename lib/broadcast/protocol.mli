@@ -1,0 +1,153 @@
+(** First-class broadcast protocols.
+
+    The paper's evaluation is a head-to-head comparison of broadcast
+    schemes, and every consumer of those schemes — the experiment
+    metrics, the figures, the CLI, the examples, the failure-injection
+    sweeps — needs to run {e any} protocol through the {e same} motions:
+    an optional proactive build phase (the forwarding structure and what
+    it cost to construct), then one broadcast per source, under a
+    perfect MAC or under per-reception loss, optionally with the
+    transmission timeline.
+
+    A {!t} packages exactly that: a stable name, a one-line description,
+    a family tag (source-independent / source-dependent / probabilistic),
+    and a [prepare] phase returning the {!built} protocol whose [run]
+    executes one broadcast.  Protocols built from a [decide] callback
+    (see {!Engine}) run {e unchanged} under the perfect engine, the
+    traced engine and the {!Lossy} failure-injection engine — the three
+    modes share one event loop ({!Engine.run_core}) — while protocols
+    with bespoke event loops (the dynamic backbone's designation events,
+    the backoff schemes' timers) plug in their native runs and fall back
+    to {!frozen_lossy} replay under loss.
+
+    The registry of every protocol in the repository lives one layer up,
+    in [Manet_protocols.Registry]; this module only defines the
+    abstraction plus {!flooding}, the one protocol expressible with no
+    dependency beyond the engine itself. *)
+
+type family =
+  | Source_independent
+      (** the forward structure does not depend on the source (SI-CDS
+          schemes, flooding) *)
+  | Source_dependent
+      (** forwarding decisions depend on where the packet came from
+          (SD-CDS schemes, neighbor-designation schemes) *)
+  | Probabilistic
+      (** forwarding depends on random backoffs drawn per broadcast *)
+
+val family_tag : family -> string
+(** ["SI"], ["SD"] or ["prob"] — the tag used in listings. *)
+
+(** What a protocol may consume, threaded uniformly by every driver:
+    the topology, a clustering (forced only by cluster-based schemes)
+    and a generator (drawn from only by probabilistic schemes and by
+    loss injection). *)
+type env = {
+  graph : Manet_graph.Graph.t;
+  clustering : Manet_cluster.Clustering.t Lazy.t;
+  rng : Manet_rng.Rng.t;
+}
+
+val make_env :
+  ?clustering:Manet_cluster.Clustering.t Lazy.t ->
+  ?rng:Manet_rng.Rng.t ->
+  Manet_graph.Graph.t ->
+  env
+(** [clustering] defaults to (lazily) lowest-ID clustering of the graph;
+    [rng] defaults to a fresh seed-0 generator. *)
+
+(** How one broadcast is executed. *)
+type mode =
+  | Perfect  (** every transmission is received (the paper's MAC model) *)
+  | Lossy of float
+      (** each reception independently dropped with this probability,
+          drawn from the environment's rng in processing order *)
+
+(** A prepared protocol: the outcome of the build phase. *)
+type built = {
+  members : Manet_graph.Nodeset.t option;
+      (** the materialized forwarding structure (the CDS) for
+          source-independent schemes with a build phase; [None] when the
+          structure is per-source or implicit *)
+  run : source:int -> mode:mode -> Result.t * (int * int) list;
+      (** one broadcast; the second component is the transmission
+          timeline as [(time, node)] pairs in transmission order *)
+}
+
+type t = {
+  name : string;  (** stable registry key, e.g. ["dynamic-2.5hop"] *)
+  description : string;  (** one line, shown by [manet protocols] *)
+  family : family;
+  has_build : bool;
+      (** whether [prepare] performs a proactive construction phase
+          (building a CDS, precomputing MPR sets) as opposed to only
+          closing over the environment *)
+  prepare : env -> built;
+}
+
+(** {1 Constructors} *)
+
+val si :
+  name:string ->
+  description:string ->
+  build:(env -> Manet_graph.Nodeset.t) ->
+  t
+(** A source-independent CDS scheme: [build] constructs the forwarding
+    set once; each broadcast is the SI-CDS rule (members forward their
+    first copy) through the uniform decide pipeline. *)
+
+val with_build : name:string -> description:string -> family:family -> (env -> built) -> t
+(** A protocol with a proactive build phase that is not a plain SI-CDS
+    (e.g. MPR's per-node relay sets). *)
+
+val per_broadcast :
+  name:string ->
+  description:string ->
+  family:family ->
+  (env -> source:int -> mode:mode -> Result.t * (int * int) list) ->
+  t
+(** A protocol with no proactive phase: all work happens per broadcast. *)
+
+(** {1 Execution helpers (the uniform pipeline)} *)
+
+val run_decide :
+  env ->
+  source:int ->
+  mode:mode ->
+  initial:'a ->
+  decide:(node:int -> from:int -> payload:'a -> 'a option) ->
+  Result.t * (int * int) list
+(** The uniform per-broadcast pipeline: execute an {!Engine}-style
+    [decide] protocol under the requested mode.  [Perfect] is exactly
+    {!Engine.run_traced}; [Lossy loss] drops each reception with
+    probability [loss] drawn from [env.rng], exactly like {!Lossy.run}.
+    @raise Invalid_argument if a [Lossy] loss is outside [\[0, 1\]]. *)
+
+val frozen_lossy :
+  env ->
+  run:(source:int -> Result.t * (int * int) list) ->
+  source:int ->
+  mode:mode ->
+  Result.t * (int * int) list
+(** For protocols whose native event loop has no loss semantics (the
+    dynamic backbone's designation signals, the backoff schemes'
+    timers): under [Perfect] or [Lossy 0.], just [run]; under [Lossy], freeze the
+    forward set from a loss-free [run], then replay it as an SI-CDS
+    broadcast under loss — the designations are decided loss-free, only
+    the data propagation is unreliable.  This is the sparsest-case
+    treatment the lossy-links experiment has always used for the
+    dynamic backbone. *)
+
+val delivery_ratio : t -> env -> loss:float -> source:int -> float
+(** [delivery_ratio p env ~loss ~source]: prepare [p] and run one
+    broadcast under [Lossy loss], returning the fraction of nodes
+    delivered — the generic failure-injection measurement, available
+    for every protocol.
+    @raise Invalid_argument if [loss] is outside [\[0, 1\]]. *)
+
+(** {1 The engine's own protocol} *)
+
+val flooding : t
+(** Blind flooding — every node forwards its first copy.  Defined here
+    (rather than in [Manet_baselines]) because it needs nothing beyond
+    the engine; [Manet_baselines.Flooding] re-exports it. *)

@@ -142,3 +142,32 @@ let broadcast ?pruning ?cache g cl mode ~source =
 
 let forward_set ?pruning g cl mode ~source =
   (broadcast ?pruning g cl mode ~source).Manet_broadcast.Result.forwarders
+
+let mode_tag = function Coverage.Hop25 -> "2.5hop" | Coverage.Hop3 -> "3hop"
+
+let protocol ?(pruning = Coverage_and_relay) mode =
+  let suffix =
+    match pruning with
+    | Coverage_and_relay -> ""
+    | Sender_only -> "/sender"
+    | Coverage_piggyback -> "/coverage"
+  in
+  let description =
+    match pruning with
+    | Coverage_and_relay ->
+      Printf.sprintf
+        "the paper's dynamic backbone: per-broadcast gateway designation, full pruning (%s coverage)"
+        (mode_tag mode)
+    | Sender_only ->
+      "dynamic backbone ablation: prune only the upstream clusterhead from the coverage set"
+    | Coverage_piggyback ->
+      "dynamic backbone ablation: prune by the upstream's piggybacked coverage set only"
+  in
+  Manet_broadcast.Protocol.per_broadcast
+    ~name:("dynamic-" ^ mode_tag mode ^ suffix)
+    ~description ~family:Manet_broadcast.Protocol.Source_dependent
+    (fun env ~source ~mode:m ->
+      let open Manet_broadcast.Protocol in
+      frozen_lossy env ~source ~mode:m
+        ~run:(fun ~source ->
+          broadcast_traced ~pruning env.graph (Lazy.force env.clustering) mode ~source))

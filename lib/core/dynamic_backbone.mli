@@ -71,3 +71,11 @@ val forward_set :
   source:int ->
   Manet_graph.Nodeset.t
 (** The source-dependent CDS itself: the nodes that forwarded. *)
+
+val protocol : ?pruning:pruning -> Manet_coverage.Coverage.mode -> Manet_broadcast.Protocol.t
+(** [dynamic-2.5hop] / [dynamic-3hop] (plus [/sender] and [/coverage]
+    ablation entries) in the protocol registry.  No build phase — the
+    SD-CDS forms while the packet propagates.  Under loss the forward
+    set is frozen from a loss-free run and replayed
+    ({!Manet_broadcast.Protocol.frozen_lossy}): designations are control
+    signals with no loss model, only data propagation is unreliable. *)

@@ -38,3 +38,16 @@ let in_backbone t v = Nodeset.mem v t.members
 let is_cds t = Dominating.is_cds t.graph t.members
 
 let broadcast t ~source = Manet_broadcast.Si.run t.graph ~in_cds:(in_backbone t) ~source
+
+let mode_tag = function Manet_coverage.Coverage.Hop25 -> "2.5hop" | Manet_coverage.Coverage.Hop3 -> "3hop"
+
+let protocol mode =
+  Manet_broadcast.Protocol.si
+    ~name:("static-" ^ mode_tag mode)
+    ~description:
+      (Printf.sprintf
+         "the paper's static backbone: clusterheads plus greedily selected gateways (%s coverage)"
+         (match mode with Manet_coverage.Coverage.Hop25 -> "2.5-hop" | Manet_coverage.Coverage.Hop3 -> "3-hop"))
+    ~build:(fun env ->
+      let open Manet_broadcast.Protocol in
+      (build ~clustering:(Lazy.force env.clustering) env.graph mode).members)

@@ -1,8 +1,9 @@
 module Rng = Manet_rng.Rng
 module Coverage = Manet_coverage.Coverage
-module Dynamic = Manet_backbone.Dynamic_backbone
 module Static = Manet_backbone.Static_backbone
 module Summary = Manet_stats.Summary
+module Protocol = Manet_broadcast.Protocol
+module Registry = Manet_protocols.Registry
 
 type config = {
   seed : int;
@@ -38,62 +39,79 @@ let sweep config ~d metrics =
   Sweep.run ~rel_precision:config.rel_precision ~min_samples:config.min_samples
     ~max_samples:config.max_samples ~domains:config.domains ~rng ~d ~ns:config.ns metrics
 
+(* Direct protocol access for the experiments below that run protocols
+   outside a metric sweep (mobility probes, border placements, oracle
+   floods).  Everything goes through the registry — the protocol name is
+   the only coupling. *)
+let prepare name ?clustering ?rng g =
+  (Registry.find_exn name).Protocol.prepare (Protocol.make_env ?clustering ?rng g)
+
+let structure_of name ?clustering g =
+  match (prepare name ?clustering g).Protocol.members with
+  | Some members -> members
+  | None -> invalid_arg (name ^ " has no materialized structure")
+
 let fig6 ?(config = default) ~d () =
   sweep config ~d
-    [ Metric.static_size Coverage.Hop25; Metric.static_size Coverage.Hop3; Metric.mo_cds_size ]
+    [
+      Metric.structure_size "static-2.5hop";
+      Metric.structure_size "static-3hop";
+      Metric.structure_size "mo_cds";
+    ]
 
 let fig7 ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.dynamic_forwards Coverage.Hop25;
-      Metric.dynamic_forwards Coverage.Hop3;
-      Metric.mo_cds_forwards;
+      Metric.forwards "dynamic-2.5hop";
+      Metric.forwards "dynamic-3hop";
+      Metric.forwards "mo_cds";
     ]
 
 let fig8 ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.static_forwards Coverage.Hop25;
-      Metric.static_forwards Coverage.Hop3;
-      Metric.dynamic_forwards Coverage.Hop25;
-      Metric.dynamic_forwards Coverage.Hop3;
+      Metric.forwards "static-2.5hop";
+      Metric.forwards "static-3hop";
+      Metric.forwards "dynamic-2.5hop";
+      Metric.forwards "dynamic-3hop";
     ]
 
 let ext_baselines ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.flooding_forwards;
-      Metric.wu_li_forwards;
-      Metric.dp_forwards;
-      Metric.pdp_forwards;
-      Metric.ahbp_forwards;
-      Metric.mpr_forwards;
-      Metric.forwarding_tree_forwards;
-      Metric.self_pruning_forwards;
-      Metric.counter_based_forwards;
-      Metric.counter_based_delivery;
-      Metric.passive_clustering_forwards;
-      Metric.passive_clustering_delivery;
-      Metric.static_forwards Coverage.Hop25;
-      Metric.dynamic_forwards Coverage.Hop25;
+      Metric.forwards "flooding";
+      Metric.forwards "wu-li";
+      Metric.forwards "dp";
+      Metric.forwards "pdp";
+      Metric.forwards "ahbp";
+      Metric.forwards "mpr";
+      Metric.forwards "fwd-tree";
+      Metric.forwards "self-pruning";
+      Metric.forwards "counter";
+      Metric.delivery ~name:"counter-delivery" "counter";
+      Metric.forwards "passive";
+      Metric.delivery ~name:"passive-delivery" "passive";
+      Metric.forwards "static-2.5hop";
+      Metric.forwards "dynamic-2.5hop";
     ]
 
 let ext_si_cds ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.static_size Coverage.Hop25;
-      Metric.mo_cds_size;
-      Metric.wu_li_size;
-      Metric.tree_cds_size;
-      Metric.greedy_cds_size;
+      Metric.structure_size "static-2.5hop";
+      Metric.structure_size "mo_cds";
+      Metric.structure_size "wu-li";
+      Metric.structure_size "tree-cds";
+      Metric.structure_size "greedy-cds";
       Metric.cluster_count;
     ]
 
 let ext_clustering ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.static_size Coverage.Hop25;
-      Metric.static_size_highest_degree Coverage.Hop25;
+      Metric.structure_size "static-2.5hop";
+      Metric.structure_size ~name:"static-2.5hop/deg"
+        ~clustering:Manet_cluster.Highest_degree.cluster "static-2.5hop";
       Metric.cluster_count;
       Metric.cluster_count_highest_degree;
     ]
@@ -101,13 +119,13 @@ let ext_clustering ?(config = default) ~d () =
 let ext_pruning ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.static_forwards Coverage.Hop25;
-      Metric.dynamic_forwards ~pruning:Dynamic.Sender_only Coverage.Hop25;
-      Metric.dynamic_forwards ~pruning:Dynamic.Coverage_piggyback Coverage.Hop25;
-      Metric.dynamic_forwards ~pruning:Dynamic.Coverage_and_relay Coverage.Hop25;
+      Metric.forwards "static-2.5hop";
+      Metric.forwards "dynamic-2.5hop/sender";
+      Metric.forwards "dynamic-2.5hop/coverage";
+      Metric.forwards "dynamic-2.5hop";
     ]
 
-let ratio_metric name f =
+let ratio_metric name size =
   {
     Metric.name;
     eval =
@@ -116,28 +134,14 @@ let ratio_metric name f =
           float_of_int
             (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build (Context.graph ctx)))
         in
-        f ctx /. mcds);
+        size.Metric.eval ctx /. mcds);
   }
 
 let ext_approx ?(config = default) () =
   let config = { config with ns = [ 8; 10; 12; 14; 16 ] } in
-  let static_ratio mode =
-    ratio_metric
-      ("static-" ^ (match mode with Coverage.Hop25 -> "2.5hop" | Coverage.Hop3 -> "3hop") ^ "/mcds")
-      (fun ctx ->
-        float_of_int (Static.size (Static.build ~clustering:ctx.clustering (Context.graph ctx) mode)))
-  in
-  let mo_ratio =
-    ratio_metric "mo_cds/mcds" (fun ctx ->
-        float_of_int
-          (Manet_baselines.Mo_cds.size
-             (Manet_baselines.Mo_cds.build ~clustering:ctx.clustering (Context.graph ctx))))
-  in
-  let greedy_ratio =
-    ratio_metric "greedy/mcds" (fun ctx ->
-        float_of_int
-          (Manet_graph.Nodeset.cardinal (Manet_mcds.Greedy_cds.build (Context.graph ctx))))
-  in
+  (* The exact solver is a reference oracle, not a broadcast protocol,
+     so it stays a direct call; the approximations it normalizes are
+     registry lookups. *)
   let mcds_size =
     {
       Metric.name = "mcds";
@@ -148,7 +152,13 @@ let ext_approx ?(config = default) () =
     }
   in
   sweep config ~d:6.
-    [ mcds_size; static_ratio Coverage.Hop25; static_ratio Coverage.Hop3; mo_ratio; greedy_ratio ]
+    [
+      mcds_size;
+      ratio_metric "static-2.5hop/mcds" (Metric.structure_size "static-2.5hop");
+      ratio_metric "static-3hop/mcds" (Metric.structure_size "static-3hop");
+      ratio_metric "mo_cds/mcds" (Metric.structure_size "mo_cds");
+      ratio_metric "greedy/mcds" (Metric.structure_size "greedy-cds");
+    ]
 
 let ext_msgs ?(config = default) ~d () =
   let cost name pick =
@@ -175,66 +185,33 @@ let ext_msgs ?(config = default) ~d () =
 let ext_delivery ?(config = default) ~d () =
   sweep config ~d
     [
-      Metric.dynamic_delivery Coverage.Hop25;
-      Metric.dynamic_delivery Coverage.Hop3;
-      {
-        Metric.name = "dp";
-        eval =
-          (fun ctx ->
-            Manet_broadcast.Result.delivery_ratio
-              (Manet_baselines.Dominant_pruning.broadcast (Context.graph ctx) ~source:ctx.source));
-      };
-      {
-        Metric.name = "pdp";
-        eval =
-          (fun ctx ->
-            Manet_broadcast.Result.delivery_ratio
-              (Manet_baselines.Partial_dominant_pruning.broadcast (Context.graph ctx)
-                 ~source:ctx.source));
-      };
-      {
-        Metric.name = "mpr";
-        eval =
-          (fun ctx ->
-            Manet_broadcast.Result.delivery_ratio
-              (Manet_baselines.Mpr.broadcast (Context.graph ctx) ~source:ctx.source));
-      };
+      Metric.delivery ~name:"delivery-2.5hop" "dynamic-2.5hop";
+      Metric.delivery ~name:"delivery-3hop" "dynamic-3hop";
+      Metric.delivery "dp";
+      Metric.delivery "pdp";
+      Metric.delivery "mpr";
     ]
 
 (* Lossy links: delivery of each broadcasting scheme as per-reception
-   loss grows — redundancy pays for reliability. *)
+   loss grows — redundancy pays for reliability.  Every series is the
+   generic registry-driven [Metric.delivery ~loss]; protocols without
+   native loss semantics (the dynamic backbone) freeze their forward set
+   loss-free and replay it (see {!Manet_broadcast.Protocol.frozen_lossy}). *)
 
 type lossy_row = { loss : float; deliveries : (string * Summary.t) list }
 
 type lossy_table = { n : int; d : float; rows : lossy_row list }
 
-let ext_lossy ?(config = default) ?(losses = [ 0.; 0.05; 0.1; 0.2; 0.3; 0.4 ]) ~d () =
+let ext_lossy ?(config = default) ?(losses = [ 0.; 0.05; 0.1; 0.2; 0.3; 0.4 ])
+    ?(protocols = [ "flooding"; "static-2.5hop"; "mo_cds"; "dynamic-2.5hop" ]) ~d () =
   let n = List.fold_left max 20 config.ns in
   let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
-  let protocols loss =
-    [
-      Metric.lossy_delivery ~name:"flooding" ~loss (fun _ -> None);
-      Metric.lossy_delivery ~name:"static-2.5hop" ~loss (fun ctx ->
-          let bb = Static.build ~clustering:ctx.clustering (Context.graph ctx) Coverage.Hop25 in
-          Some (Static.in_backbone bb));
-      Metric.lossy_delivery ~name:"mo_cds" ~loss (fun ctx ->
-          let m = Manet_baselines.Mo_cds.build ~clustering:ctx.clustering (Context.graph ctx) in
-          Some (Manet_baselines.Mo_cds.in_cds m));
-      Metric.lossy_delivery ~name:"dynamic-2.5hop" ~loss (fun ctx ->
-          (* The dynamic forward set, frozen from a loss-free run, then
-             replayed under loss: its designations are the sparsest. *)
-          let fwd =
-            Manet_backbone.Dynamic_backbone.forward_set (Context.graph ctx) ctx.clustering
-              Coverage.Hop25 ~source:ctx.source
-          in
-          Some (fun v -> Manet_graph.Nodeset.mem v fwd));
-    ]
-  in
+  let metrics loss = List.map (fun p -> Metric.delivery ~loss p) protocols in
   let row loss =
     let rng = Rng.create ~seed:(config.seed + int_of_float (loss *. 1000.)) in
     let point =
       Sweep.run_point ~rel_precision:config.rel_precision ~min_samples:config.min_samples
-        ~max_samples:config.max_samples ~rng ~spec (protocols loss)
+        ~max_samples:config.max_samples ~rng ~spec (metrics loss)
     in
     { loss; deliveries = List.map (fun (name, (c : Sweep.cell)) -> (name, c.summary)) point.cells }
   in
@@ -275,6 +252,9 @@ type border_table = { d : float; rows : border_row list }
 
 let ext_border ?(config = default) ~d () =
   let samples = max 20 config.min_samples in
+  let backbone_size g =
+    float_of_int (Manet_graph.Nodeset.cardinal (structure_of "static-2.5hop" g))
+  in
   let row n =
     let rng = Rng.create ~seed:(config.seed + n) in
     let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
@@ -295,8 +275,8 @@ let ext_border ?(config = default) ~d () =
         incr collected;
         Summary.add cd (Manet_graph.Graph.avg_degree confined);
         Summary.add td (Manet_graph.Graph.avg_degree toroidal);
-        Summary.add cb (float_of_int (Static.size (Static.build confined Coverage.Hop25)));
-        Summary.add tb (float_of_int (Static.size (Static.build toroidal Coverage.Hop25)))
+        Summary.add cb (backbone_size confined);
+        Summary.add tb (backbone_size toroidal)
       end
     done;
     { n; confined_degree = cd; toroidal_degree = td; confined_backbone = cb; toroidal_backbone = tb }
@@ -352,7 +332,10 @@ let ext_reliable ?(config = default) ?(losses = [ 0.; 0.1; 0.2; 0.3 ]) ~d () =
       let g = Context.graph ctx in
       let nn = Manet_graph.Graph.n g in
       (* Tree: the Pagani-Rossi forwarding tree rooted at the source's
-         clusterhead; every non-member answers to its clusterhead. *)
+         clusterhead; every non-member answers to its clusterhead.  The
+         tree is built directly (not through the registry) because the
+         ack/retransmit machinery needs its parent pointers, which the
+         protocol abstraction deliberately does not expose. *)
       let tree =
         Manet_baselines.Forwarding_tree.build g ctx.clustering Coverage.Hop25 ~source:ctx.source
       in
@@ -370,16 +353,14 @@ let ext_reliable ?(config = default) ?(losses = [ 0.; 0.1; 0.2; 0.3 ]) ~d () =
       Summary.add flood_once
         (Manet_broadcast.Lossy.flooding_delivery g ~rng:ctx.rng ~loss ~source:ctx.source);
       (* Oracle: repeat whole floods until everyone has the packet. *)
+      let flood = (prepare "flooding" ~rng:ctx.rng g).Protocol.run in
       let reached = Array.make nn false in
       let total = ref 0 in
       let attempts = ref 0 in
       let all () = Array.for_all Fun.id reached in
       while (not (all ())) && !attempts < 50 do
         incr attempts;
-        let r =
-          Manet_broadcast.Lossy.run g ~rng:ctx.rng ~loss ~source:ctx.source ~initial:()
-            ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ())
-        in
+        let r, _ = flood ~source:ctx.source ~mode:(Protocol.Lossy loss) in
         total := !total + Manet_broadcast.Result.forward_count r;
         Array.iteri (fun v d -> if d then reached.(v) <- true) r.delivered
       done;
@@ -460,8 +441,9 @@ let ext_maintenance ?(config = default) ?(speeds = [ 1.; 2.; 5.; 10. ]) ~d () =
            (only meaningful on a connected snapshot). *)
         if Manet_graph.Connectivity.is_connected g then begin
           let cl = (Manet_backbone.Backbone_maintenance.backbone bm).Static.clustering in
-          let r =
-            Dynamic.broadcast g cl Coverage.Hop25 ~source:(Rng.int rng (Manet_graph.Graph.n g))
+          let dyn = (prepare "dynamic-2.5hop" ~clustering:(lazy cl) g).Protocol.run in
+          let r, _ =
+            dyn ~source:(Rng.int rng (Manet_graph.Graph.n g)) ~mode:Protocol.Perfect
           in
           let heads = Manet_cluster.Clustering.head_set cl in
           let gateways =
@@ -526,7 +508,7 @@ let ext_mobility ?(config = default) ?(speeds = [ 1.; 2.; 5.; 10. ]) ~d () =
     let dynamic = Summary.create () in
     for _ = 1 to samples do
       let sample = Manet_topology.Generator.sample_connected rng spec in
-      let backbone = Static.build sample.graph Coverage.Hop25 in
+      let members = structure_of "static-2.5hop" sample.graph in
       let mob =
         Manet_topology.Mobility.create ~model:Manet_topology.Mobility.Random_waypoint
           ~speed_min:speed ~speed_max:speed ~rng:(Rng.split rng) ~spec sample.points
@@ -543,20 +525,22 @@ let ext_mobility ?(config = default) ?(speeds = [ 1.; 2.; 5.; 10. ]) ~d () =
         t := !t +. dt;
         let g = Manet_topology.Mobility.graph mob ~radius:sample.radius in
         if Float.abs (!t -. probe_time) < (dt /. 2.) then probe_graph := g;
-        if !invalid_at = None && not (Manet_graph.Dominating.is_cds g backbone.Static.members)
+        if !invalid_at = None && not (Manet_graph.Dominating.is_cds g members)
         then invalid_at := Some !t
       done;
       Summary.add valid (match !invalid_at with Some t -> t | None -> max_time);
-      (* Probe deliveries on the topology reached at probe_time. *)
+      (* Probe deliveries on the topology reached at probe_time.  The
+         stale probe replays the frozen member set through the generic
+         SI engine — deliberately not a registry run, which would
+         rebuild on the moved graph. *)
       let g = !probe_graph in
       let source = Rng.int rng (Manet_graph.Graph.n g) in
       let stale_r =
-        Manet_broadcast.Si.run g ~in_cds:(fun v -> Static.in_backbone backbone v) ~source
+        Manet_broadcast.Si.run g ~in_cds:(fun v -> Manet_graph.Nodeset.mem v members) ~source
       in
       Summary.add stale (Manet_broadcast.Result.delivery_ratio stale_r);
-      let dyn_r =
-        let cl = Manet_cluster.Lowest_id.cluster g in
-        Dynamic.broadcast g cl Coverage.Hop25 ~source
+      let dyn_r, _ =
+        (prepare "dynamic-2.5hop" g).Protocol.run ~source ~mode:Protocol.Perfect
       in
       Summary.add dynamic (Manet_broadcast.Result.delivery_ratio dyn_r)
     done;

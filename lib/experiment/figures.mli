@@ -81,11 +81,19 @@ type lossy_row = {
 
 type lossy_table = { n : int; d : float; rows : lossy_row list }
 
-val ext_lossy : ?config:config -> ?losses:float list -> d:float -> unit -> lossy_table
-(** Failure injection: delivery ratio under per-reception loss for blind
-    flooding, the static backbone, MO_CDS and the dynamic backbone —
-    the redundancy/efficiency trade-off behind the broadcast storm
-    problem.  [losses] defaults to 0, 0.05, 0.1, 0.2, 0.3, 0.4. *)
+val ext_lossy :
+  ?config:config ->
+  ?losses:float list ->
+  ?protocols:string list ->
+  d:float ->
+  unit ->
+  lossy_table
+(** Failure injection: delivery ratio under per-reception loss for any
+    set of registered protocols — the redundancy/efficiency trade-off
+    behind the broadcast storm problem.  [protocols] names registry
+    entries and defaults to blind flooding, the static backbone, MO_CDS
+    and the dynamic backbone; [losses] defaults to
+    0, 0.05, 0.1, 0.2, 0.3, 0.4. *)
 
 val render_lossy : lossy_table -> string
 

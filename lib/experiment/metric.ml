@@ -1,214 +1,78 @@
-module Coverage = Manet_coverage.Coverage
-module Static = Manet_backbone.Static_backbone
-module Dynamic = Manet_backbone.Dynamic_backbone
+module Nodeset = Manet_graph.Nodeset
 module Result = Manet_broadcast.Result
+module Protocol = Manet_broadcast.Protocol
+module Registry = Manet_protocols.Registry
 
 type t = { name : string; eval : Context.t -> float }
 
-let mode_tag = function Coverage.Hop25 -> "2.5hop" | Coverage.Hop3 -> "3hop"
-
-let static_size mode =
+(* The context is the protocol environment: same topology, same
+   clustering, same per-sample generator for every protocol under
+   comparison. *)
+let env_of ctx =
   {
-    name = "static-" ^ mode_tag mode;
+    Protocol.graph = Context.graph ctx;
+    clustering = lazy ctx.Context.clustering;
+    rng = ctx.Context.rng;
+  }
+
+let prepared ?clustering protocol ctx =
+  let env = env_of ctx in
+  let env =
+    match clustering with
+    | None -> env
+    | Some cluster -> { env with Protocol.clustering = lazy (cluster (Context.graph ctx)) }
+  in
+  protocol.Protocol.prepare env
+
+let run_once ?clustering ~mode protocol ctx =
+  let built = prepared ?clustering protocol ctx in
+  fst (built.Protocol.run ~source:ctx.Context.source ~mode)
+
+let forwards ?name pname =
+  let protocol = Registry.find_exn pname in
+  {
+    name = Option.value name ~default:pname;
     eval =
       (fun ctx ->
-        float_of_int (Static.size (Static.build ~clustering:ctx.clustering (Context.graph ctx) mode)));
+        float_of_int (Result.forward_count (run_once ~mode:Protocol.Perfect protocol ctx)));
   }
 
-let mo_cds_size =
+let delivery ?name ?loss pname =
+  let protocol = Registry.find_exn pname in
+  let mode = match loss with None -> Protocol.Perfect | Some l -> Protocol.Lossy l in
   {
-    name = "mo_cds";
+    name = Option.value name ~default:pname;
+    eval = (fun ctx -> Result.delivery_ratio (run_once ~mode protocol ctx));
+  }
+
+let structure_size ?name ?clustering pname =
+  let protocol = Registry.find_exn pname in
+  {
+    name = Option.value name ~default:pname;
     eval =
       (fun ctx ->
-        float_of_int
-          (Manet_baselines.Mo_cds.size
-             (Manet_baselines.Mo_cds.build ~clustering:ctx.clustering (Context.graph ctx))));
+        match (prepared ?clustering protocol ctx).Protocol.members with
+        | Some members -> float_of_int (Nodeset.cardinal members)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metric.structure_size: %s has no materialized structure" pname));
   }
 
-let wu_li_size =
+let completion_time ?name pname =
+  let protocol = Registry.find_exn pname in
   {
-    name = "wu-li";
-    eval = (fun ctx -> float_of_int (Manet_baselines.Wu_li.size (Manet_baselines.Wu_li.build (Context.graph ctx))));
-  }
-
-let greedy_cds_size =
-  {
-    name = "greedy-cds";
+    name = Option.value name ~default:pname;
     eval =
       (fun ctx ->
-        float_of_int (Manet_graph.Nodeset.cardinal (Manet_mcds.Greedy_cds.build (Context.graph ctx))));
+        float_of_int (run_once ~mode:Protocol.Perfect protocol ctx).Result.completion_time);
   }
 
-let tree_cds_size =
-  {
-    name = "tree-cds";
-    eval =
-      (fun ctx ->
-        float_of_int (Manet_baselines.Tree_cds.size (Manet_baselines.Tree_cds.build (Context.graph ctx))));
-  }
+(* Non-protocol diagnostics. *)
 
 let cluster_count =
   {
     name = "clusters";
     eval = (fun ctx -> float_of_int (Manet_cluster.Clustering.num_clusters ctx.clustering));
-  }
-
-let static_forwards mode =
-  {
-    name = "static-" ^ mode_tag mode;
-    eval =
-      (fun ctx ->
-        let backbone = Static.build ~clustering:ctx.clustering (Context.graph ctx) mode in
-        float_of_int (Result.forward_count (Static.broadcast backbone ~source:ctx.source)));
-  }
-
-let pruning_tag = function
-  | Dynamic.Sender_only -> "sender"
-  | Dynamic.Coverage_piggyback -> "coverage"
-  | Dynamic.Coverage_and_relay -> "full"
-
-let dynamic_forwards ?(pruning = Dynamic.Coverage_and_relay) mode =
-  let suffix = match pruning with Dynamic.Coverage_and_relay -> "" | p -> "/" ^ pruning_tag p in
-  {
-    name = "dynamic-" ^ mode_tag mode ^ suffix;
-    eval =
-      (fun ctx ->
-        let r =
-          Dynamic.broadcast ~pruning (Context.graph ctx) ctx.clustering mode ~source:ctx.source
-        in
-        float_of_int (Result.forward_count r));
-  }
-
-let mo_cds_forwards =
-  {
-    name = "mo_cds";
-    eval =
-      (fun ctx ->
-        let cds = Manet_baselines.Mo_cds.build ~clustering:ctx.clustering (Context.graph ctx) in
-        float_of_int (Result.forward_count (Manet_baselines.Mo_cds.broadcast cds ~source:ctx.source)));
-  }
-
-let flooding_forwards =
-  {
-    name = "flooding";
-    eval =
-      (fun ctx ->
-        float_of_int
-          (Result.forward_count (Manet_baselines.Flooding.broadcast (Context.graph ctx) ~source:ctx.source)));
-  }
-
-let wu_li_forwards =
-  {
-    name = "wu-li";
-    eval =
-      (fun ctx ->
-        let cds = Manet_baselines.Wu_li.build (Context.graph ctx) in
-        float_of_int (Result.forward_count (Manet_baselines.Wu_li.broadcast cds ~source:ctx.source)));
-  }
-
-let dp_forwards =
-  {
-    name = "dp";
-    eval =
-      (fun ctx ->
-        float_of_int
-          (Manet_baselines.Dominant_pruning.forward_count (Context.graph ctx) ~source:ctx.source));
-  }
-
-let pdp_forwards =
-  {
-    name = "pdp";
-    eval =
-      (fun ctx ->
-        float_of_int
-          (Manet_baselines.Partial_dominant_pruning.forward_count (Context.graph ctx)
-             ~source:ctx.source));
-  }
-
-let mpr_forwards =
-  {
-    name = "mpr";
-    eval =
-      (fun ctx ->
-        float_of_int (Manet_baselines.Mpr.forward_count (Context.graph ctx) ~source:ctx.source));
-  }
-
-let ahbp_forwards =
-  {
-    name = "ahbp";
-    eval =
-      (fun ctx ->
-        float_of_int (Result.forward_count (Manet_baselines.Ahbp.broadcast (Context.graph ctx) ~source:ctx.source)));
-  }
-
-let forwarding_tree_forwards =
-  {
-    name = "fwd-tree";
-    eval =
-      (fun ctx ->
-        let tree =
-          Manet_baselines.Forwarding_tree.build (Context.graph ctx) ctx.clustering
-            Manet_coverage.Coverage.Hop25 ~source:ctx.source
-        in
-        float_of_int
-          (Result.forward_count (Manet_baselines.Forwarding_tree.broadcast tree ~source:ctx.source)));
-  }
-
-let self_pruning_forwards =
-  {
-    name = "self-pruning";
-    eval =
-      (fun ctx ->
-        float_of_int
-          (Manet_baselines.Self_pruning.forward_count ~rng:ctx.rng (Context.graph ctx)
-             ~source:ctx.source));
-  }
-
-let counter_based_forwards =
-  {
-    name = "counter";
-    eval =
-      (fun ctx ->
-        float_of_int
-          (Manet_baselines.Counter_based.forward_count ~rng:ctx.rng (Context.graph ctx)
-             ~source:ctx.source));
-  }
-
-let counter_based_delivery =
-  {
-    name = "counter-delivery";
-    eval =
-      (fun ctx ->
-        Result.delivery_ratio
-          (Manet_baselines.Counter_based.broadcast ~rng:ctx.rng (Context.graph ctx)
-             ~source:ctx.source));
-  }
-
-let passive_clustering_forwards =
-  {
-    name = "passive";
-    eval =
-      (fun ctx ->
-        let p = Manet_baselines.Passive_clustering.broadcast ~rng:ctx.rng (Context.graph ctx) ~source:ctx.source in
-        float_of_int (Result.forward_count p.result));
-  }
-
-let passive_clustering_delivery =
-  {
-    name = "passive-delivery";
-    eval =
-      (fun ctx ->
-        let p = Manet_baselines.Passive_clustering.broadcast ~rng:ctx.rng (Context.graph ctx) ~source:ctx.source in
-        Result.delivery_ratio p.result);
-  }
-
-let static_size_highest_degree mode =
-  {
-    name = "static-" ^ mode_tag mode ^ "/deg";
-    eval =
-      (fun ctx ->
-        let cl = Manet_cluster.Highest_degree.cluster (Context.graph ctx) in
-        float_of_int (Static.size (Static.build ~clustering:cl (Context.graph ctx) mode)));
   }
 
 let cluster_count_highest_degree =
@@ -221,29 +85,5 @@ let cluster_count_highest_degree =
              (Manet_cluster.Highest_degree.cluster (Context.graph ctx))));
   }
 
-let lossy_delivery ~name ~loss cds_of =
-  {
-    name;
-    eval =
-      (fun ctx ->
-        let g = Context.graph ctx in
-        let decide =
-          match cds_of ctx with
-          | Some in_cds -> fun ~node ~from:_ ~payload:() -> if in_cds node then Some () else None
-          | None -> fun ~node:_ ~from:_ ~payload:() -> Some ()
-        in
-        Result.delivery_ratio
-          (Manet_broadcast.Lossy.run g ~rng:ctx.rng ~loss ~source:ctx.source ~initial:() ~decide));
-  }
-
 let realized_degree =
   { name = "degree"; eval = (fun ctx -> Manet_graph.Graph.avg_degree (Context.graph ctx)) }
-
-let dynamic_delivery mode =
-  {
-    name = "delivery-" ^ mode_tag mode;
-    eval =
-      (fun ctx ->
-        Result.delivery_ratio
-          (Dynamic.broadcast (Context.graph ctx) ctx.clustering mode ~source:ctx.source));
-  }

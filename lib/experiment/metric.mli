@@ -1,90 +1,52 @@
-(** The measured quantities, one per algorithm/series in the paper's
-    figures and the extension experiments.
+(** The measured quantities, one per series in the paper's figures and
+    the extension experiments.
 
     A metric maps a {!Context.t} to a number; {!Sweep} averages it over
-    contexts under the paper's confidence-interval stopping rule. *)
+    contexts under the paper's confidence-interval stopping rule.
+
+    Every broadcast measurement is registry-driven: a metric names a
+    protocol from {!Manet_protocols.Registry} and the generic
+    constructors below run it through the uniform
+    {!Manet_broadcast.Protocol} pipeline — so any newly registered
+    protocol immediately gains forward-count, delivery-ratio and
+    loss-sweep series with no new code here. *)
 
 type t = { name : string; eval : Context.t -> float }
 
-(** {1 CDS size (Figure 6)} *)
+val env_of : Context.t -> Manet_broadcast.Protocol.env
+(** The context as a protocol environment: its topology, its
+    clustering (lazily) and its per-sample generator. *)
 
-val static_size : Manet_coverage.Coverage.mode -> t
-(** |static backbone| = clusterheads + selected gateways. *)
+(** {1 Registry-driven series} *)
 
-val mo_cds_size : t
+val forwards : ?name:string -> string -> t
+(** [forwards proto] is the forward-node count of one broadcast of the
+    registered protocol [proto] from the context's source — the paper's
+    key metric (Figures 7 and 8).  [name] defaults to [proto]. *)
 
-val wu_li_size : t
+val delivery : ?name:string -> ?loss:float -> string -> t
+(** [delivery proto] is the delivery ratio of one broadcast; with
+    [loss], the broadcast runs under the failure-injection engine with
+    that per-reception loss probability (drawn from the context's rng). *)
 
-val greedy_cds_size : t
+val structure_size : ?name:string -> ?clustering:(Manet_graph.Graph.t -> Manet_cluster.Clustering.t) -> string -> t
+(** [structure_size proto] is the size of the protocol's materialized
+    forwarding structure (the CDS) — the quantity of the paper's
+    Figure 6.  [clustering] overrides the context's lowest-ID clustering
+    (the ext-clustering ablation).
+    @raise Invalid_argument at evaluation if the protocol builds no
+    materialized structure. *)
+
+val completion_time : ?name:string -> string -> t
+(** Hop-time of the last delivery of one broadcast. *)
+
+(** {1 Diagnostics (not protocol-driven)} *)
 
 val cluster_count : t
 (** Number of clusters (clusterheads) — a component of every CDS above. *)
 
-val tree_cds_size : t
-(** Spanning-tree CDS of Alzoubi et al. (HICSS-35). *)
-
-(** {1 Forward-node count for one broadcast (Figures 7 and 8)} *)
-
-val static_forwards : Manet_coverage.Coverage.mode -> t
-
-val dynamic_forwards :
-  ?pruning:Manet_backbone.Dynamic_backbone.pruning -> Manet_coverage.Coverage.mode -> t
-
-val mo_cds_forwards : t
-
-val flooding_forwards : t
-
-val wu_li_forwards : t
-
-val dp_forwards : t
-
-val pdp_forwards : t
-
-val mpr_forwards : t
-
-val ahbp_forwards : t
-
-val forwarding_tree_forwards : t
-(** Pagani-Rossi cluster-based forwarding tree, rooted at the source's
-    clusterhead. *)
-
-val self_pruning_forwards : t
-(** Backoff self-pruning; backoffs drawn from the context's rng. *)
-
-val counter_based_forwards : t
-
-val counter_based_delivery : t
-(** The counter heuristic does not guarantee delivery; this measures the
-    shortfall. *)
-
-val passive_clustering_forwards : t
-
-val passive_clustering_delivery : t
-(** Delivery ratio of passive clustering — the paper notes it "suffers
-    poor delivery rate"; this metric quantifies that. *)
-
-val static_size_highest_degree : Manet_coverage.Coverage.mode -> t
-(** Static backbone built over highest-connectivity clustering instead of
-    lowest-ID (the ext-clustering ablation). *)
-
 val cluster_count_highest_degree : t
-
-val lossy_delivery :
-  name:string ->
-  loss:float ->
-  (Context.t -> (int -> bool) option) ->
-  t
-(** Delivery ratio under per-reception loss probability [loss] of either
-    an SI broadcast over the set returned by the callback, or blind
-    flooding when it returns [None]. *)
-
-(** {1 Diagnostics} *)
 
 val realized_degree : t
 (** Realized average degree of the generated topology (to confirm the
     radius formula hits the paper's d targets). *)
-
-val dynamic_delivery : Manet_coverage.Coverage.mode -> t
-(** Delivery ratio of the dynamic-backbone broadcast (expected 1.0;
-    reported to make any protocol corner case visible rather than
-    silent). *)

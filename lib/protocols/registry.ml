@@ -1,0 +1,63 @@
+module Protocol = Manet_broadcast.Protocol
+module Coverage = Manet_coverage.Coverage
+module Static = Manet_backbone.Static_backbone
+module Dynamic = Manet_backbone.Dynamic_backbone
+
+(* Greedy CDS is a solver ([Manet_mcds] knows nothing of broadcasting),
+   so its protocol wrapper lives here rather than in the solver. *)
+let greedy_cds =
+  Protocol.si ~name:"greedy-cds"
+    ~description:"greedy CDS of Guha and Khuller: the scalable approximation-ratio reference"
+    ~build:(fun env -> Manet_mcds.Greedy_cds.build env.Protocol.graph)
+
+let all =
+  [
+    (* the paper's backbones *)
+    Static.protocol Coverage.Hop25;
+    Static.protocol Coverage.Hop3;
+    Dynamic.protocol Coverage.Hop25;
+    Dynamic.protocol Coverage.Hop3;
+    Dynamic.protocol ~pruning:Dynamic.Sender_only Coverage.Hop25;
+    Dynamic.protocol ~pruning:Dynamic.Coverage_piggyback Coverage.Hop25;
+    (* source-independent CDS comparators *)
+    Manet_baselines.Mo_cds.protocol;
+    Manet_baselines.Wu_li.protocol;
+    Manet_baselines.Tree_cds.protocol;
+    greedy_cds;
+    (* source-dependent schemes *)
+    Manet_baselines.Dominant_pruning.protocol;
+    Manet_baselines.Partial_dominant_pruning.protocol;
+    Manet_baselines.Ahbp.protocol;
+    Manet_baselines.Mpr.protocol;
+    Manet_baselines.Forwarding_tree.protocol;
+    (* flooding and the probabilistic storm remedies *)
+    Manet_baselines.Flooding.protocol;
+    Manet_baselines.Self_pruning.protocol;
+    Manet_baselines.Counter_based.protocol;
+    Manet_baselines.Passive_clustering.protocol;
+  ]
+
+let () =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      let name = p.Protocol.name in
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Registry: duplicate protocol name %S" name);
+      Hashtbl.add seen name ())
+    all
+
+let names = List.map (fun p -> p.Protocol.name) all
+
+let find name = List.find_opt (fun p -> String.equal p.Protocol.name name) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.find_exn: unknown protocol %S (known: %s)" name
+         (String.concat ", " names))
+
+let backbones =
+  List.filter (fun p -> p.Protocol.family = Protocol.Source_independent && p.Protocol.has_build) all

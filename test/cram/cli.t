@@ -29,20 +29,20 @@ connected:
 
 The static backbone is the paper's Figure 3 (c):
 
-  $ manet backbone --edges fig3.csv --algo static-2.5
-  static backbone (2.5-hop): 9 of 10 nodes
+  $ manet backbone --edges fig3.csv --algo static-2.5hop
+  static-2.5hop: 9 of 10 nodes
   members = {0, 1, 2, 3, 4, 5, 6, 7, 8}
   verified CDS: true
 
 The dynamic broadcast from node 0 uses the paper's 7 forward nodes:
 
-  $ manet broadcast --edges fig3.csv --proto dynamic-2.5 --source 0
+  $ manet broadcast --edges fig3.csv --proto dynamic-2.5hop --source 0
   source=0 forwards=7 delivered=10/10 time=4
   forwarders = {0, 1, 2, 3, 5, 6, 8}
 
 With a transmission timeline:
 
-  $ manet broadcast --edges fig3.csv --proto dynamic-2.5 --source 0 --trace
+  $ manet broadcast --edges fig3.csv --proto dynamic-2.5hop --source 0 --trace
   source=0 forwards=7 delivered=10/10 time=4
   forwarders = {0, 1, 2, 3, 5, 6, 8}
   t=0: 0
@@ -50,6 +50,41 @@ With a transmission timeline:
   t=2: 1 2
   t=3: 8
   t=4: 3
+
+Timelines come from the uniform protocol pipeline, so they are
+available for every protocol, including the source-dependent ones:
+
+  $ manet broadcast --edges fig3.csv --proto dp --source 0 --trace
+  source=0 forwards=8 delivered=10/10 time=3
+  forwarders = {0, 1, 2, 4, 5, 6, 7, 8}
+  t=0: 0
+  t=1: 4 5 6
+  t=2: 1 2 8
+  t=3: 7
+
+Every registered protocol, from the same registry the CLI dispatches
+through:
+
+  $ manet protocols
+  static-2.5hop            SI    build  the paper's static backbone: clusterheads plus greedily selected gateways (2.5-hop coverage)
+  static-3hop              SI    build  the paper's static backbone: clusterheads plus greedily selected gateways (3-hop coverage)
+  dynamic-2.5hop           SD    -      the paper's dynamic backbone: per-broadcast gateway designation, full pruning (2.5hop coverage)
+  dynamic-3hop             SD    -      the paper's dynamic backbone: per-broadcast gateway designation, full pruning (3hop coverage)
+  dynamic-2.5hop/sender    SD    -      dynamic backbone ablation: prune only the upstream clusterhead from the coverage set
+  dynamic-2.5hop/coverage  SD    -      dynamic backbone ablation: prune by the upstream's piggybacked coverage set only
+  mo_cds                   SI    build  message-optimal CDS of Alzoubi, Wan and Frieder (MobiHoc'02), the paper's comparator
+  wu-li                    SI    build  Wu-Li marking process with pruning Rules 1 and 2 (DIALM'99)
+  tree-cds                 SI    build  spanning-tree CDS of Alzoubi, Wan and Frieder (HICSS-35): BFS-ranked MIS plus parents
+  greedy-cds               SI    build  greedy CDS of Guha and Khuller: the scalable approximation-ratio reference
+  dp                       SD    -      dominant pruning (Lim and Kim): senders designate a greedy 2-hop cover
+  pdp                      SD    -      partial dominant pruning (Lou and Wu, TMC'02): DP minus the common-neighbor coverage
+  ahbp                     SD    -      ad hoc broadcast protocol (Peng and Lu): BRG designation excluding the upstream BRG set
+  mpr                      SD    build  multipoint relays (Qayyum et al., HICSS'02): relay iff MPR of the upstream sender
+  fwd-tree                 SD    -      Pagani-Rossi cluster-based forwarding tree rooted at the source's clusterhead
+  flooding                 SI    -      blind flooding: every node forwards its first copy (Ni et al.'s broadcast storm)
+  self-pruning             prob  -      backoff neighbor-coverage self-pruning (Lim and Kim): resign if heard copies cover N(v)
+  counter                  prob  -      counter-based scheme (Ni et al., MOBICOM'99): rebroadcast unless C >= 3 copies heard
+  passive                  prob  -      passive clustering (Kwon and Gerla): roles declared in-flight, gateways may suppress
 
 Flooding uses every node:
 

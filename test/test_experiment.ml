@@ -58,7 +58,7 @@ let test_sweep_domains_deterministic () =
     let rng = Manet_rng.Rng.create ~seed:31 in
     Sweep.run ~min_samples:4 ~max_samples:20 ~rel_precision:0.2 ~domains ~rng ~d:6.
       ~ns:[ 20; 30; 40 ]
-      [ Metric.cluster_count; Metric.static_size Coverage.Hop25 ]
+      [ Metric.cluster_count; Metric.structure_size "static-2.5hop" ]
   in
   let a = run 1 and b = run 4 in
   List.iter2

@@ -1,0 +1,263 @@
+(* The protocol registry: name uniqueness and total lookup, and the
+   tentpole equivalence property — for every registered protocol, the
+   registry-dispatched broadcast is bit-identical to the legacy direct
+   entry point, on random geometric graphs across seeds. *)
+
+module Rng = Manet_rng.Rng
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Coverage = Manet_coverage.Coverage
+module Static = Manet_backbone.Static_backbone
+module Dynamic = Manet_backbone.Dynamic_backbone
+module Result = Manet_broadcast.Result
+module Si = Manet_broadcast.Si
+module Protocol = Manet_broadcast.Protocol
+module Registry = Manet_protocols.Registry
+open Test_helpers
+
+let result = Alcotest.testable Result.pp (fun (a : Result.t) (b : Result.t) ->
+    a.source = b.source
+    && Nodeset.equal a.forwarders b.forwarders
+    && a.delivered = b.delivered
+    && a.completion_time = b.completion_time)
+
+(* Registry shape *)
+
+let documented_names =
+  [
+    "static-2.5hop"; "static-3hop";
+    "dynamic-2.5hop"; "dynamic-3hop"; "dynamic-2.5hop/sender"; "dynamic-2.5hop/coverage";
+    "mo_cds"; "wu-li"; "tree-cds"; "greedy-cds";
+    "dp"; "pdp"; "ahbp"; "mpr"; "fwd-tree";
+    "flooding"; "self-pruning"; "counter"; "passive";
+  ]
+
+let test_names_unique () =
+  let sorted = List.sort_uniq compare Registry.names in
+  Alcotest.(check int) "no duplicate names" (List.length Registry.names) (List.length sorted)
+
+let test_lookup_total () =
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | Some p -> Alcotest.(check string) "found under its own name" name p.Protocol.name
+      | None -> Alcotest.failf "documented protocol %s not registered" name)
+    documented_names;
+  Alcotest.(check int) "documented list is exhaustive" (List.length documented_names)
+    (List.length Registry.names);
+  Alcotest.(check bool) "unknown name is None" true (Registry.find "no-such-proto" = None);
+  Alcotest.check_raises "find_exn raises on unknown name"
+    (Invalid_argument
+       (Printf.sprintf "Registry.find_exn: unknown protocol \"no-such-proto\" (known: %s)"
+          (String.concat ", " Registry.names)))
+    (fun () -> ignore (Registry.find_exn "no-such-proto"))
+
+let test_backbones_materialize () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Protocol.name ^ " is SI with a build phase")
+        true
+        (p.Protocol.family = Protocol.Source_independent && p.Protocol.has_build))
+    Registry.backbones
+
+(* Every backbone protocol's materialized structure is a verified CDS. *)
+let test_backbones_are_cds () =
+  List.iter
+    (fun (sample : Manet_topology.Generator.sample) ->
+      List.iter
+        (fun p ->
+          let built = p.Protocol.prepare (Protocol.make_env sample.graph) in
+          match built.Protocol.members with
+          | None -> Alcotest.failf "%s: backbone without members" p.Protocol.name
+          | Some members ->
+            Alcotest.(check bool)
+              (p.Protocol.name ^ " members form a CDS")
+              true
+              (Manet_graph.Dominating.is_cds sample.graph members))
+        Registry.backbones)
+    (udg_cases ~seed:11 ~count:5 ~n:40 ~d:8.)
+
+(* Equivalence: registry dispatch vs the legacy direct entry points.
+   Both sides get generators in identical states; a mismatch in any
+   Result.t field fails. *)
+
+let legacy_runs =
+  [
+    ( "static-2.5hop",
+      fun g ~cl ~rng:_ ~source ->
+        Static.broadcast (Static.build ~clustering:cl g Coverage.Hop25) ~source );
+    ( "static-3hop",
+      fun g ~cl ~rng:_ ~source ->
+        Static.broadcast (Static.build ~clustering:cl g Coverage.Hop3) ~source );
+    ("dynamic-2.5hop", fun g ~cl ~rng:_ ~source -> Dynamic.broadcast g cl Coverage.Hop25 ~source);
+    ("dynamic-3hop", fun g ~cl ~rng:_ ~source -> Dynamic.broadcast g cl Coverage.Hop3 ~source);
+    ( "dynamic-2.5hop/sender",
+      fun g ~cl ~rng:_ ~source ->
+        Dynamic.broadcast ~pruning:Dynamic.Sender_only g cl Coverage.Hop25 ~source );
+    ( "dynamic-2.5hop/coverage",
+      fun g ~cl ~rng:_ ~source ->
+        Dynamic.broadcast ~pruning:Dynamic.Coverage_piggyback g cl Coverage.Hop25 ~source );
+    ( "mo_cds",
+      fun g ~cl ~rng:_ ~source ->
+        Manet_baselines.Mo_cds.broadcast (Manet_baselines.Mo_cds.build ~clustering:cl g) ~source );
+    ( "wu-li",
+      fun g ~cl:_ ~rng:_ ~source ->
+        Manet_baselines.Wu_li.broadcast (Manet_baselines.Wu_li.build g) ~source );
+    ( "tree-cds",
+      fun g ~cl:_ ~rng:_ ~source ->
+        Manet_baselines.Tree_cds.broadcast (Manet_baselines.Tree_cds.build g) ~source );
+    ( "greedy-cds",
+      fun g ~cl:_ ~rng:_ ~source ->
+        let cds = Manet_mcds.Greedy_cds.build g in
+        Si.run g ~in_cds:(fun v -> Nodeset.mem v cds) ~source );
+    ("dp", fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Dominant_pruning.broadcast g ~source);
+    ( "pdp",
+      fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Partial_dominant_pruning.broadcast g ~source );
+    ("ahbp", fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Ahbp.broadcast g ~source);
+    ("mpr", fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Mpr.broadcast g ~source);
+    ( "fwd-tree",
+      fun g ~cl ~rng:_ ~source ->
+        Manet_baselines.Forwarding_tree.broadcast
+          (Manet_baselines.Forwarding_tree.build g cl Coverage.Hop25 ~source)
+          ~source );
+    ("flooding", fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Flooding.broadcast g ~source);
+    ("self-pruning", fun g ~cl:_ ~rng ~source -> Manet_baselines.Self_pruning.broadcast ~rng g ~source);
+    ("counter", fun g ~cl:_ ~rng ~source -> Manet_baselines.Counter_based.broadcast ~rng g ~source);
+    ( "passive",
+      fun g ~cl:_ ~rng ~source ->
+        (Manet_baselines.Passive_clustering.broadcast ~rng g ~source).result );
+  ]
+
+let registry_run name g ~cl ~rng ~source ~mode =
+  let env = Protocol.make_env ~clustering:(lazy cl) ~rng g in
+  ((Registry.find_exn name).Protocol.prepare env).Protocol.run ~source ~mode
+
+let equivalence_tests =
+  List.map
+    (fun (name, legacy) ->
+      qtest
+        (Printf.sprintf "registry %s = legacy entry point" name)
+        ~count:30 (arb_udg ())
+        (fun ((seed, n, _) as case) ->
+          let sample = sample_of case in
+          let g = sample.graph in
+          let cl = Manet_cluster.Lowest_id.cluster g in
+          let source = seed mod n in
+          let expected = legacy g ~cl ~rng:(Rng.create ~seed:(seed + 77)) ~source in
+          let got, _ =
+            registry_run name g ~cl ~rng:(Rng.create ~seed:(seed + 77)) ~source
+              ~mode:Protocol.Perfect
+          in
+          Alcotest.check result name expected got;
+          true))
+    legacy_runs
+
+(* Sanity: the equivalence table covers the whole registry. *)
+let test_equivalence_covers_registry () =
+  let covered = List.map fst legacy_runs in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " has a legacy counterpart") true (List.mem name covered))
+    Registry.names
+
+(* Every protocol produces a timeline: one entry per forwarder, and the
+   timeline's node set is exactly the forward set (satellite of the
+   always-available --timeline CLI flag). *)
+let timeline_tests =
+  List.map
+    (fun p ->
+      let name = p.Protocol.name in
+      qtest
+        (Printf.sprintf "timeline of %s matches its forward set" name)
+        ~count:15 (arb_udg ~n_max:40 ())
+        (fun ((seed, n, _) as case) ->
+          let sample = sample_of case in
+          let g = sample.graph in
+          let cl = Manet_cluster.Lowest_id.cluster g in
+          let source = seed mod n in
+          let r, timeline =
+            registry_run name g ~cl ~rng:(Rng.create ~seed:(seed + 5)) ~source
+              ~mode:Protocol.Perfect
+          in
+          let nodes = List.fold_left (fun s (_, v) -> Nodeset.add v s) Nodeset.empty timeline in
+          List.length timeline = Result.forward_count r && Nodeset.equal nodes r.forwarders))
+    Registry.all
+
+(* Loss 0 is bit-identical to the perfect engine for every protocol. *)
+let lossless_tests =
+  List.map
+    (fun p ->
+      let name = p.Protocol.name in
+      qtest
+        (Printf.sprintf "%s under loss 0 = perfect" name)
+        ~count:15 (arb_udg ~n_max:40 ())
+        (fun ((seed, n, _) as case) ->
+          let sample = sample_of case in
+          let g = sample.graph in
+          let cl = Manet_cluster.Lowest_id.cluster g in
+          let source = seed mod n in
+          let perfect, _ =
+            registry_run name g ~cl ~rng:(Rng.create ~seed:(seed + 9)) ~source
+              ~mode:Protocol.Perfect
+          in
+          let lossless, _ =
+            registry_run name g ~cl ~rng:(Rng.create ~seed:(seed + 9)) ~source
+              ~mode:(Protocol.Lossy 0.)
+          in
+          Alcotest.check result name perfect lossless;
+          true))
+    Registry.all
+
+(* The generic delivery_ratio generalizes the old flooding-only entry
+   point: on flooding they agree draw for draw. *)
+let test_delivery_ratio_generalizes_flooding () =
+  List.iter
+    (fun (sample : Manet_topology.Generator.sample) ->
+      List.iter
+        (fun loss ->
+          let g = sample.graph in
+          let old_way =
+            Manet_broadcast.Lossy.flooding_delivery g ~rng:(Rng.create ~seed:3) ~loss ~source:0
+          in
+          let generic =
+            Manet_broadcast.Lossy.delivery_ratio (Registry.find_exn "flooding") g
+              ~rng:(Rng.create ~seed:3) ~loss ~source:0
+          in
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "loss %g" loss) old_way generic)
+        [ 0.; 0.2; 0.5 ])
+    (udg_cases ~seed:21 ~count:3 ~n:30 ~d:6.)
+
+(* Delivery under loss stays a valid ratio for every protocol. *)
+let test_delivery_ratio_bounds () =
+  let sample = udg ~seed:5 ~n:30 ~d:8. in
+  List.iter
+    (fun p ->
+      let env = Protocol.make_env ~rng:(Rng.create ~seed:13) sample.graph in
+      let ratio = Protocol.delivery_ratio p env ~loss:0.3 ~source:0 in
+      Alcotest.(check bool)
+        (p.Protocol.name ^ " delivery in [0,1]")
+        true
+        (ratio >= 0. && ratio <= 1.))
+    Registry.all
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+          Alcotest.test_case "lookup total over documented names" `Quick test_lookup_total;
+          Alcotest.test_case "backbones are SI with build" `Quick test_backbones_materialize;
+          Alcotest.test_case "backbones build CDSes" `Quick test_backbones_are_cds;
+          Alcotest.test_case "equivalence table covers registry" `Quick
+            test_equivalence_covers_registry;
+        ] );
+      ("equivalence", equivalence_tests);
+      ("timelines", timeline_tests);
+      ("loss", lossless_tests @ [
+          Alcotest.test_case "delivery_ratio generalizes flooding_delivery" `Quick
+            test_delivery_ratio_generalizes_flooding;
+          Alcotest.test_case "delivery ratio bounded" `Quick test_delivery_ratio_bounds;
+        ] );
+    ]
