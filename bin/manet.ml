@@ -208,6 +208,112 @@ let protocols_cmd =
           proactive build phase, description).")
     Term.(const run $ const ())
 
+(* check *)
+
+let check_cmd =
+  let module Runner = Manet_check.Runner in
+  let module Oracle = Manet_check.Oracle in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Harness seed (replay key).")
+  in
+  let cases_arg =
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Number of random cases to draw.")
+  in
+  let proto_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:
+            "Restrict per-protocol oracles to PROTO (repeatable; default: every registered \
+             protocol).")
+  in
+  let oracle_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:
+            (Printf.sprintf "Run only ORACLE (repeatable; default: the full catalog: %s)."
+               (String.concat ", " Oracle.names)))
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Also check the deliberately broken mutant protocols (harness self-test; expected to \
+             fail).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the oracle catalog and exit.")
+  in
+  let resolve_proto name =
+    match Registry.find name with
+    | Some p -> p
+    | None ->
+      (match
+         List.find_opt
+           (fun p -> String.equal p.Protocol.name name)
+           Manet_check.Mutate.all
+       with
+      | Some p -> p
+      | None -> Registry.find_exn name (* raises, listing the known names *))
+  in
+  let run seed cases protos oracles mutate list out =
+    if list then begin
+      let width =
+        List.fold_left (fun acc o -> max acc (String.length o.Oracle.name)) 0 Oracle.all
+      in
+      List.iter
+        (fun o ->
+          Printf.printf "%-*s  %-12s  %s\n" width o.Oracle.name
+            (match o.Oracle.check with
+            | Oracle.Structural _ -> "structural"
+            | Oracle.Per_protocol _ -> "per-protocol")
+            o.Oracle.description)
+        Oracle.all;
+      `Ok ()
+    end
+    else begin
+      let protos =
+        (match protos with [] -> Registry.all | names -> List.map resolve_proto names)
+        @ (if mutate then Manet_check.Mutate.all else [])
+      in
+      let oracles =
+        match oracles with [] -> Oracle.all | names -> List.map Oracle.find_exn names
+      in
+      let config = Runner.config ~seed ~cases ~protos ~oracles () in
+      Printf.printf "check: seed=%d cases=%d protocols=%d oracles=%d\n%!" seed cases
+        (List.length protos) (List.length oracles);
+      let outcome = Runner.run config in
+      match outcome.Runner.failure with
+      | None ->
+        Printf.printf "OK: %d cases, %d checks passed, %d skipped\n" outcome.Runner.cases_run
+          outcome.Runner.checks outcome.Runner.skips;
+        `Ok ()
+      | Some f ->
+        print_string
+          (Manet_check.Report.summary ~oracle:f.Runner.oracle.Oracle.name ~proto:f.Runner.proto
+             ~original:f.Runner.case ~shrunk:f.Runner.shrunk ~message:f.Runner.message);
+        (match out with
+        | Some _ -> write_out out f.Runner.reproducer
+        | None -> print_string f.Runner.reproducer);
+        flush stdout;
+        `Error (false, "invariant violated")
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the randomized invariant-oracle harness: generate seeded random topologies, check \
+          every oracle (coverage sets, domination, backbone connectivity, delivery, determinism) \
+          against every protocol, and shrink the first counterexample to a minimal reproducer.")
+    Term.(
+      ret
+        (const run $ seed_arg $ cases_arg $ proto_arg $ oracle_arg $ mutate_arg $ list_arg
+       $ out_arg))
+
 (* cluster *)
 
 let cluster_cmd =
@@ -289,4 +395,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; cluster_cmd; backbone_cmd; broadcast_cmd; protocols_cmd; figures_cmd ]))
+          [
+            generate_cmd;
+            cluster_cmd;
+            backbone_cmd;
+            broadcast_cmd;
+            protocols_cmd;
+            check_cmd;
+            figures_cmd;
+          ]))

@@ -1,0 +1,50 @@
+(** Randomized test scenarios for the invariant-oracle harness.
+
+    A case is one concrete input every oracle can be evaluated on: a
+    {e connected} graph plus a broadcast source, tagged with the
+    [(seed, index)] pair that regenerates it bit-for-bit.  Cases are
+    drawn from several families so rare graph shapes (the ones that
+    break gateway selection in related CDS work) appear regularly:
+
+    - random connected unit-disk graphs across sizes and densities
+      (the paper's own workload);
+    - mobility-perturbed snapshots: a unit-disk sample advanced by a
+      random-waypoint or random-direction walk, reduced to its largest
+      connected component;
+    - adversarial fixed shapes: paths, cycles, stars, complete graphs
+      and bridged cliques, where coverage sets degenerate.
+
+    All randomness flows through {!Manet_rng.Rng}, so a case is a pure
+    function of [(seed, index)] — the replay key printed with every
+    counterexample. *)
+
+type t = {
+  graph : Manet_graph.Graph.t;  (** always connected, [n >= 2] *)
+  source : int;  (** broadcast source, in range *)
+  seed : int;  (** harness seed that generated the case *)
+  index : int;  (** case number within the run *)
+  kind : string;  (** generator family, e.g. ["udg"], ["mobility"], ["shape"] *)
+}
+
+val generate : seed:int -> index:int -> t
+(** The [index]-th case of a run seeded with [seed].  Pure: equal
+    arguments give equal cases, with no dependence on other indices. *)
+
+val of_graph : ?seed:int -> ?index:int -> Manet_graph.Graph.t -> source:int -> t
+(** Wrap an explicit graph (a shrunken candidate, a reproducer) as a
+    case.  [seed]/[index] default to [-1] (meaning "hand-built").
+    @raise Invalid_argument if the source is out of range or the graph
+    has fewer than 2 nodes. *)
+
+val with_graph : t -> Manet_graph.Graph.t -> source:int -> t
+(** [with_graph case g ~source] keeps the provenance of [case] but
+    substitutes the graph and source — how the shrinker derives
+    candidates. *)
+
+val describe : t -> string
+(** One line: kind, replay key, size, source. *)
+
+val case_rng : t -> salt:string -> Manet_rng.Rng.t
+(** A fresh generator deterministically derived from the case's replay
+    key and [salt] — one independent stream per (case, consumer), so
+    oracles never perturb each other's draws. *)

@@ -1,0 +1,33 @@
+module Nodeset = Manet_graph.Nodeset
+module Clustering = Manet_cluster.Clustering
+module Coverage = Manet_coverage.Coverage
+module Gateway_selection = Manet_backbone.Gateway_selection
+module Protocol = Manet_broadcast.Protocol
+
+let drop_coverage_entry =
+  Protocol.si ~name:"static-2.5hop!drop-coverage"
+    ~description:
+      "MUTANT: static backbone whose gateway selection drops each head's highest covered \
+       clusterhead (harness self-test; expected to fail)"
+    ~build:(fun env ->
+      let g = env.Protocol.graph in
+      let cl = Lazy.force env.Protocol.clustering in
+      let coverages = Coverage.all g cl Coverage.Hop25 in
+      let gateways =
+        Array.fold_left
+          (fun acc cov ->
+            match cov with
+            | None -> acc
+            | Some cov ->
+              let targets = Coverage.covered cov in
+              let targets =
+                match Nodeset.max_elt_opt targets with
+                | Some top -> Nodeset.remove top targets
+                | None -> targets
+              in
+              Nodeset.union acc (Gateway_selection.select ~targets cov))
+          Nodeset.empty coverages
+      in
+      Nodeset.union (Clustering.head_set cl) gateways)
+
+let all = [ drop_coverage_entry ]

@@ -1,0 +1,20 @@
+(** Deliberately broken protocol variants — the harness's own smoke
+    test.
+
+    A correctness harness is only trustworthy if it demonstrably catches
+    the bug class it was built for.  This module registers mutants with
+    a seeded fault in exactly the machinery the paper's theorems depend
+    on; running [manet check --mutate] (or the mutation test in the test
+    suite) asserts the oracles flag them quickly and that the shrinker
+    reduces the witness to a few nodes.
+
+    Mutant names carry a [!] so they can never collide with (or be
+    mistaken for) a real registry entry. *)
+
+val drop_coverage_entry : Manet_broadcast.Protocol.t
+(** [static-2.5hop!drop-coverage]: the static backbone with each
+    clusterhead's gateway selection ignoring the highest clusterhead of
+    its coverage set — the classic one-entry-short gateway-selection bug
+    that leaves the backbone disconnected on sparse shapes. *)
+
+val all : Manet_broadcast.Protocol.t list

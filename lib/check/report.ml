@@ -1,0 +1,42 @@
+module Graph = Manet_graph.Graph
+
+let edge_list g =
+  match Graph.edges g with
+  | [] -> "[]"
+  | edges ->
+    "[ " ^ String.concat "; " (List.map (fun (u, v) -> Printf.sprintf "(%d, %d)" u v) edges) ^ " ]"
+
+let proto_text = function None -> "-" | Some p -> p
+
+let ocaml_reproducer ~oracle ~proto ~seed ~index ~message g ~source =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "(* Shrunken counterexample emitted by `manet check`.\n";
+  add "   oracle   : %s\n" oracle;
+  add "   protocol : %s\n" (proto_text proto);
+  if seed >= 0 && index >= 0 then begin
+    add "   replay   : manet check --seed %d --cases %d" seed (index + 1);
+    (match proto with None -> () | Some p -> add " --proto %s" p);
+    add " --oracle %s\n" oracle
+  end;
+  add "   failure  : %s *)\n" message;
+  add "let () =\n";
+  add "  let graph = Manet_graph.Graph.of_edges ~n:%d %s in\n" (Graph.n g) (edge_list g);
+  add "  match\n";
+  add "    Manet_check.Runner.reproduce ~oracle:%S%s graph ~source:%d\n" oracle
+    (match proto with None -> "" | Some p -> Printf.sprintf " ~proto:%S" p)
+    source;
+  add "  with\n";
+  add "  | Manet_check.Oracle.Fail message -> print_endline (\"reproduced: \" ^ message)\n";
+  add "  | _ -> failwith \"counterexample no longer fails\"\n";
+  Buffer.contents buf
+
+let summary ~oracle ~proto ~original ~shrunk ~message =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "FAIL oracle=%s proto=%s %s\n" oracle (proto_text proto) (Case.describe original);
+  add "  %s\n" message;
+  add "  shrunk to n=%d m=%d source=%d (%d shrink checks)\n"
+    (Graph.n shrunk.Shrink.graph) (Graph.m shrunk.Shrink.graph) shrunk.Shrink.source
+    shrunk.Shrink.checks;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Rendering counterexamples as replayable artifacts. *)
+
+val edge_list : Manet_graph.Graph.t -> string
+(** The graph's edges as an OCaml list literal, e.g.
+    ["[ (0, 1); (1, 2) ]"]. *)
+
+val ocaml_reproducer :
+  oracle:string ->
+  proto:string option ->
+  seed:int ->
+  index:int ->
+  message:string ->
+  Manet_graph.Graph.t ->
+  source:int ->
+  string
+(** A self-contained OCaml test case that rebuilds the shrunken graph
+    and re-evaluates the failing oracle through
+    {!Runner.reproduce}, headed by a comment carrying the replay seed
+    ([manet check --seed S --cases I+1]) and the original failure
+    message. *)
+
+val summary :
+  oracle:string ->
+  proto:string option ->
+  original:Case.t ->
+  shrunk:Shrink.outcome ->
+  message:string ->
+  string
+(** The human-readable failure block printed by the CLI: what failed,
+    on which case, and what it shrank to. *)

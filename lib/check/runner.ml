@@ -1,0 +1,103 @@
+module Graph = Manet_graph.Graph
+module Protocol = Manet_broadcast.Protocol
+module Registry = Manet_protocols.Registry
+
+type config = {
+  seed : int;
+  cases : int;
+  protos : Protocol.t list;
+  oracles : Oracle.t list;
+  shrink_budget : int;
+}
+
+let config ?(seed = 42) ?(cases = 200) ?(protos = Registry.all) ?(oracles = Oracle.all)
+    ?(shrink_budget = 4000) () =
+  if cases < 0 then invalid_arg "Runner.config: negative case count";
+  { seed; cases; protos; oracles; shrink_budget }
+
+type failure = {
+  oracle : Oracle.t;
+  proto : string option;
+  message : string;
+  case : Case.t;
+  shrunk : Shrink.outcome;
+  reproducer : string;
+}
+
+type outcome = { cases_run : int; checks : int; skips : int; failure : failure option }
+
+(* Re-evaluating on a shrink candidate keeps the original replay key so
+   oracles derive the same per-case random streams (losses, builds) —
+   the candidate differs from the original in the graph alone. *)
+let verdict_on ~case oracle ~proto g ~source =
+  let ctx = Oracle.context (Case.with_graph case g ~source) in
+  Oracle.eval oracle ctx ~proto
+
+let shrink_failure ~budget ~case oracle ~proto message =
+  let still_fails g ~source =
+    match verdict_on ~case oracle ~proto g ~source with Oracle.Fail _ -> true | _ -> false
+  in
+  let shrunk = Shrink.run ~budget ~still_fails case.Case.graph ~source:case.Case.source in
+  let proto_name = Option.map (fun p -> p.Protocol.name) proto in
+  {
+    oracle;
+    proto = proto_name;
+    message;
+    case;
+    shrunk;
+    reproducer =
+      Report.ocaml_reproducer ~oracle:oracle.Oracle.name ~proto:proto_name ~seed:case.Case.seed
+        ~index:case.Case.index ~message shrunk.Shrink.graph ~source:shrunk.Shrink.source;
+  }
+
+exception Stop of failure
+
+let run ?progress config =
+  let checks = ref 0 and skips = ref 0 and cases_run = ref 0 in
+  let record ~case oracle ~proto verdict =
+    match verdict with
+    | Oracle.Pass -> incr checks
+    | Oracle.Skip _ -> incr skips
+    | Oracle.Fail message ->
+      incr checks;
+      raise (Stop (shrink_failure ~budget:config.shrink_budget ~case oracle ~proto message))
+  in
+  let failure =
+    try
+      for index = 0 to config.cases - 1 do
+        (match progress with Some f -> f index | None -> ());
+        let case = Case.generate ~seed:config.seed ~index in
+        incr cases_run;
+        let ctx = Oracle.context case in
+        List.iter
+          (fun oracle ->
+            match oracle.Oracle.check with
+            | Oracle.Structural _ ->
+              record ~case oracle ~proto:None (Oracle.eval oracle ctx ~proto:None)
+            | Oracle.Per_protocol _ ->
+              List.iter
+                (fun p ->
+                  record ~case oracle ~proto:(Some p) (Oracle.eval oracle ctx ~proto:(Some p)))
+                config.protos)
+          config.oracles
+      done;
+      None
+    with Stop f -> Some f
+  in
+  { cases_run = !cases_run; checks = !checks; skips = !skips; failure }
+
+let reproduce ~oracle ?proto g ~source =
+  let oracle = Oracle.find_exn oracle in
+  let proto =
+    match proto with
+    | None -> None
+    | Some name ->
+      (match Registry.find name with
+      | Some p -> Some p
+      | None ->
+        (match List.find_opt (fun p -> String.equal p.Protocol.name name) Mutate.all with
+        | Some p -> Some p
+        | None -> Some (Registry.find_exn name) (* raises with the known-name list *)))
+  in
+  let case = Case.of_graph g ~source in
+  Oracle.eval oracle (Oracle.context case) ~proto

@@ -1,0 +1,55 @@
+(** The harness driver: generate cases, evaluate oracles, shrink the
+    first failure.
+
+    One [run] draws [cases] scenarios from the seed, evaluates every
+    selected oracle on each (per-protocol oracles once per protocol in
+    the configured list), and stops at the first violation, which it
+    greedily shrinks ({!Shrink}) and packages as a {!failure} with a
+    ready-to-commit OCaml reproducer ({!Report}). *)
+
+type config = {
+  seed : int;
+  cases : int;
+  protos : Manet_broadcast.Protocol.t list;
+      (** protocols fed to per-protocol oracles (normally the registry,
+          plus {!Mutate.all} for self-tests) *)
+  oracles : Oracle.t list;
+  shrink_budget : int;
+}
+
+val config :
+  ?seed:int ->
+  ?cases:int ->
+  ?protos:Manet_broadcast.Protocol.t list ->
+  ?oracles:Oracle.t list ->
+  ?shrink_budget:int ->
+  unit ->
+  config
+(** Defaults: seed 42, 200 cases, the whole protocol registry, the whole
+    oracle catalog, shrink budget 4000. *)
+
+type failure = {
+  oracle : Oracle.t;
+  proto : string option;  (** protocol name for per-protocol oracles *)
+  message : string;  (** the oracle's message on the original case *)
+  case : Case.t;  (** the unshrunk failing case *)
+  shrunk : Shrink.outcome;
+  reproducer : string;  (** {!Report.ocaml_reproducer} output *)
+}
+
+type outcome = {
+  cases_run : int;
+  checks : int;  (** oracle evaluations that returned Pass or Fail *)
+  skips : int;  (** evaluations that returned Skip *)
+  failure : failure option;  (** the run stops at the first failure *)
+}
+
+val run : ?progress:(int -> unit) -> config -> outcome
+(** [progress] is invoked with each case index before it is evaluated. *)
+
+val reproduce :
+  oracle:string -> ?proto:string -> Manet_graph.Graph.t -> source:int -> Oracle.verdict
+(** Re-evaluate one oracle on an explicit graph — the entry point every
+    emitted reproducer calls.  [proto] resolves through
+    {!Manet_protocols.Registry} and {!Mutate.all}.
+    @raise Invalid_argument on an unknown oracle or protocol name. *)

@@ -1,0 +1,75 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Connectivity = Manet_graph.Connectivity
+
+type outcome = { graph : Graph.t; source : int; checks : int }
+
+let run ?(budget = 4000) ~still_fails graph ~source =
+  let used = ref 0 in
+  (* A candidate must stay a valid case — connected, n >= 2 — or the
+     reproducer would sit outside the harness's own input contract. *)
+  let check g ~source =
+    if !used >= budget || Graph.n g < 2 || not (Connectivity.is_connected g) then false
+    else begin
+      incr used;
+      still_fails g ~source
+    end
+  in
+  let g = ref graph and src = ref source in
+  (* One pass of single-node removals (highest id first, so renumbering
+     shifts as few candidates as possible); restarts after a success
+     because ids shift.  Returns whether anything was removed. *)
+  let node_pass () =
+    let removed_any = ref false in
+    let restart = ref true in
+    while !restart do
+      restart := false;
+      let n = Graph.n !g in
+      let v = ref (n - 1) in
+      while !v >= 0 && not !restart do
+        if !v <> !src && n > 2 then begin
+          let keep = Nodeset.remove !v (Nodeset.range n) in
+          let sub, old_ids = Graph.induced !g keep in
+          let src' = ref (-1) in
+          Array.iteri (fun i old -> if old = !src then src' := i) old_ids;
+          if check sub ~source:!src' then begin
+            g := sub;
+            src := !src';
+            removed_any := true;
+            restart := true
+          end
+        end;
+        decr v
+      done
+    done;
+    !removed_any
+  in
+  let edge_pass () =
+    let removed_any = ref false in
+    let restart = ref true in
+    while !restart do
+      restart := false;
+      let edges = Graph.edges !g in
+      try
+        List.iter
+          (fun e ->
+            let remaining = List.filter (fun e' -> e' <> e) edges in
+            let candidate = Graph.of_edges ~n:(Graph.n !g) remaining in
+            if check candidate ~source:!src then begin
+              g := candidate;
+              removed_any := true;
+              restart := true;
+              raise Exit
+            end)
+          edges
+      with Exit -> ()
+    done;
+    !removed_any
+  in
+  let progress = ref true in
+  while !progress && !used < budget do
+    let nodes = node_pass () in
+    let edges = edge_pass () in
+    progress := nodes || edges
+  done;
+  { graph = !g; source = !src; checks = !used }

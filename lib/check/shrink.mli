@@ -1,0 +1,29 @@
+(** Greedy counterexample shrinking.
+
+    Given a failing case and a predicate deciding whether a candidate
+    still fails, repeatedly try to remove nodes (with renumbering) and
+    edges, keeping any removal that preserves the failure, until a
+    fixpoint or the evaluation budget is exhausted.  The result is a
+    locally minimal reproducer: removing any single node or edge makes
+    the failure disappear.
+
+    Only a genuine [Fail] keeps a candidate — a candidate on which the
+    oracle passes {e or no longer applies} is rejected, so shrinking
+    never drifts onto a different property. *)
+
+type outcome = {
+  graph : Manet_graph.Graph.t;  (** the shrunken graph *)
+  source : int;  (** the source, renumbered along with the graph *)
+  checks : int;  (** predicate evaluations spent *)
+}
+
+val run :
+  ?budget:int ->
+  still_fails:(Manet_graph.Graph.t -> source:int -> bool) ->
+  Manet_graph.Graph.t ->
+  source:int ->
+  outcome
+(** [budget] (default 4000) bounds predicate evaluations; the source
+    node itself is never removed, and candidates that disconnect the
+    graph (or shrink below 2 nodes) are rejected without consulting the
+    predicate, so the reproducer stays a valid {!Case.t}. *)

@@ -172,17 +172,11 @@ let test_pdp_not_worse_than_dp_on_average () =
   (* PDP prunes a superset of DP's universe.  Per-sample the cascade can
      occasionally favour DP (greedy artifacts), so the claim is aggregate:
      over many topologies PDP forwards no more than DP on average. *)
-  let rng = Manet_rng.Rng.create ~seed:17 in
-  let spec = Manet_topology.Spec.make ~n:50 ~avg_degree:10. () in
-  let dp_sum = ref 0 and pdp_sum = ref 0 in
-  for _ = 1 to 60 do
-    let s = Manet_topology.Generator.sample_connected rng spec in
-    dp_sum := !dp_sum + Dp.forward_count s.graph ~source:0;
-    pdp_sum := !pdp_sum + Pdp.forward_count s.graph ~source:0
-  done;
+  let dp_sum = forward_sum ~seed:17 ~count:60 ~n:50 ~d:10. Dp.forward_count in
+  let pdp_sum = forward_sum ~seed:17 ~count:60 ~n:50 ~d:10. Pdp.forward_count in
   Alcotest.(check bool)
-    (Printf.sprintf "pdp mean (%d) <= dp mean (%d)" !pdp_sum !dp_sum)
-    true (!pdp_sum <= !dp_sum)
+    (Printf.sprintf "pdp mean (%d) <= dp mean (%d)" pdp_sum dp_sum)
+    true (pdp_sum <= dp_sum)
 
 (* MPR *)
 
@@ -329,17 +323,11 @@ let prop_ahbp_delivers =
 let test_ahbp_not_worse_than_dp_on_average () =
   (* AHBP's universe is a subset of DP's, so on average it selects no
      more forwards. *)
-  let rng = Manet_rng.Rng.create ~seed:23 in
-  let spec = Manet_topology.Spec.make ~n:50 ~avg_degree:10. () in
-  let dp_sum = ref 0 and ahbp_sum = ref 0 in
-  for _ = 1 to 60 do
-    let s = Manet_topology.Generator.sample_connected rng spec in
-    dp_sum := !dp_sum + Dp.forward_count s.graph ~source:0;
-    ahbp_sum := !ahbp_sum + Ahbp.forward_count s.graph ~source:0
-  done;
+  let dp_sum = forward_sum ~seed:23 ~count:60 ~n:50 ~d:10. Dp.forward_count in
+  let ahbp_sum = forward_sum ~seed:23 ~count:60 ~n:50 ~d:10. Ahbp.forward_count in
   Alcotest.(check bool)
-    (Printf.sprintf "ahbp mean (%d) <= dp mean (%d)" !ahbp_sum !dp_sum)
-    true (!ahbp_sum <= !dp_sum)
+    (Printf.sprintf "ahbp mean (%d) <= dp mean (%d)" ahbp_sum dp_sum)
+    true (ahbp_sum <= dp_sum)
 
 (* Backoff self-pruning *)
 

@@ -243,18 +243,10 @@ let prop_maintenance_invariants_under_motion =
       let seed, _, _ = case in
       let s = sample_of case in
       let m = Maintenance.create s.graph in
-      let rng = Manet_rng.Rng.create ~seed:(seed + 5) in
-      let spec =
-        Manet_topology.Spec.make ~n:(Graph.n s.graph) ~avg_degree:6. ()
-      in
-      let mob =
-        Manet_topology.Mobility.create ~model:Manet_topology.Mobility.Random_waypoint
-          ~speed_min:5. ~speed_max:5. ~rng ~spec s.points
-      in
+      let mob = mobility_walk ~seed:(seed + 5) ~speed:5. ~d:6. s in
       let ok = ref true in
       for _ = 1 to 8 do
-        Manet_topology.Mobility.step mob ~dt:1.;
-        let g = Manet_topology.Mobility.graph mob ~radius:s.radius in
+        let g = walk_step s mob in
         let _ev = Maintenance.update m g in
         (* clustering both validates (of_head_array checks the cluster
            invariants) and must dominate the new graph *)
@@ -267,16 +259,10 @@ let test_maintenance_cheaper_than_rebuild () =
   (* Small motion: incremental messages well below n. *)
   let s = udg ~seed:9 ~n:80 ~d:8. in
   let m = Maintenance.create s.graph in
-  let rng = Manet_rng.Rng.create ~seed:10 in
-  let spec = Manet_topology.Spec.make ~n:80 ~avg_degree:8. () in
-  let mob =
-    Manet_topology.Mobility.create ~model:Manet_topology.Mobility.Random_waypoint ~speed_min:1.
-      ~speed_max:1. ~rng ~spec s.points
-  in
+  let mob = mobility_walk ~seed:10 ~speed:1. ~d:8. s in
   let total = ref 0 in
   for _ = 1 to 10 do
-    Manet_topology.Mobility.step mob ~dt:1.;
-    let ev = Maintenance.update m (Manet_topology.Mobility.graph mob ~radius:s.radius) in
+    let ev = Maintenance.update m (walk_step s mob) in
     total := !total + ev.messages
   done;
   Alcotest.(check bool)

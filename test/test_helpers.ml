@@ -29,6 +29,35 @@ let udg_cases ~seed ~count ~n ~d =
   let spec = Spec.make ~n ~avg_degree:d () in
   List.init count (fun _ -> Generator.sample_connected rng spec)
 
+module Mobility = Manet_topology.Mobility
+
+(* A constant-speed mobility walk over a connected sample, with the
+   walk's spec matched to the sample's size so snapshots stay in the
+   same working space.  Shared by the maintenance tests in
+   test_cluster/test_static/test_check. *)
+let mobility_walk ?(model = Mobility.Random_waypoint) ~seed ~speed ~d (s : Generator.sample) =
+  let spec = Spec.make ~n:(Graph.n s.graph) ~avg_degree:d () in
+  Mobility.create ~model ~speed_min:speed ~speed_max:speed ~rng:(Rng.create ~seed) ~spec s.points
+
+(* Advance one step and return the new unit-disk snapshot at the
+   sample's own radius. *)
+let walk_step (s : Generator.sample) mob =
+  Mobility.step mob ~dt:1.;
+  Mobility.graph mob ~radius:s.radius
+
+(* Sum of [forward_count graph ~source:0] over [count] fresh connected
+   samples — the aggregate-comparison harness the baseline tests use to
+   rank pruning schemes. *)
+let forward_sum ~seed ~count ~n ~d forward_count =
+  let rng = Rng.create ~seed in
+  let spec = Spec.make ~n ~avg_degree:d () in
+  let sum = ref 0 in
+  for _ = 1 to count do
+    let s = Generator.sample_connected rng spec in
+    sum := !sum + forward_count s.Generator.graph ~source:0
+  done;
+  !sum
+
 (* Erdos-Renyi-style graphs (not unit-disk): broader structural variety
    for the graph-theory substrate, including disconnected graphs. *)
 let gnp ~seed ~n ~p =

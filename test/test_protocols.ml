@@ -36,6 +36,13 @@ let test_names_unique () =
   let sorted = List.sort_uniq compare Registry.names in
   Alcotest.(check int) "no duplicate names" (List.length Registry.names) (List.length sorted)
 
+(* The registry is exactly the documented catalog: 19 schemes, same
+   order the CLI prints them in (test/cram/cli.t pins the rendering). *)
+let test_exactly_documented () =
+  Alcotest.(check int) "exactly 19 registered schemes" 19 (List.length Registry.names);
+  Alcotest.(check (list string)) "registry = documented catalog, in order" documented_names
+    Registry.names
+
 let test_lookup_total () =
   List.iter
     (fun name ->
@@ -247,6 +254,7 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "names unique" `Quick test_names_unique;
+          Alcotest.test_case "exactly the 19 documented schemes" `Quick test_exactly_documented;
           Alcotest.test_case "lookup total over documented names" `Quick test_lookup_total;
           Alcotest.test_case "backbones are SI with build" `Quick test_backbones_materialize;
           Alcotest.test_case "backbones build CDSes" `Quick test_backbones_are_cds;

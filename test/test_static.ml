@@ -252,19 +252,13 @@ let test_bm_node_count_guard () =
 let prop_bm_equals_rebuild =
   qtest "incremental backbone = rebuild over maintained clustering" ~count:20
     (arb_udg ~n_min:20 ~n_max:50 ()) (fun case ->
-      let seed, n, d = case in
+      let seed, _, d = case in
       let s = sample_of case in
       let bm = Backbone_maintenance.create s.graph Coverage.Hop25 in
-      let rng = Manet_rng.Rng.create ~seed:(seed + 17) in
-      let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
-      let mob =
-        Manet_topology.Mobility.create ~model:Manet_topology.Mobility.Random_waypoint
-          ~speed_min:3. ~speed_max:3. ~rng ~spec s.points
-      in
+      let mob = mobility_walk ~seed:(seed + 17) ~speed:3. ~d s in
       let ok = ref true in
       for _ = 1 to 6 do
-        Manet_topology.Mobility.step mob ~dt:1.;
-        let g = Manet_topology.Mobility.graph mob ~radius:s.radius in
+        let g = walk_step s mob in
         let _ev = Backbone_maintenance.update bm g in
         let bb = Backbone_maintenance.backbone bm in
         let fresh = Static.build ~clustering:bb.Static.clustering g Coverage.Hop25 in

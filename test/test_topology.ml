@@ -115,6 +115,25 @@ let test_mobility_stays_in_box () =
       done)
     [ Mobility.Random_waypoint; Mobility.Random_direction ]
 
+let test_mobility_deterministic () =
+  (* Equal seeds walk identical trajectories — the property the check
+     harness's replay keys rely on. *)
+  List.iter
+    (fun model ->
+      let spec = Spec.make ~n:30 ~avg_degree:6. () in
+      let m1 = mob ~seed:19 ~model ~speed:4. spec in
+      let m2 = mob ~seed:19 ~model ~speed:4. spec in
+      for step = 1 to 20 do
+        Mobility.step m1 ~dt:0.9;
+        Mobility.step m2 ~dt:0.9;
+        let p1 = Mobility.positions m1 and p2 = Mobility.positions m2 in
+        Array.iteri
+          (fun i p ->
+            if not (Point.equal p p2.(i)) then Alcotest.failf "trajectories diverge at step %d" step)
+          p1
+      done)
+    [ Mobility.Random_waypoint; Mobility.Random_direction ]
+
 let test_mobility_moves () =
   let spec = Spec.make ~n:30 ~avg_degree:6. () in
   let m = mob ~seed:13 ~model:Mobility.Random_waypoint ~speed:5. spec in
@@ -227,6 +246,7 @@ let () =
       ( "mobility",
         [
           Alcotest.test_case "stays in box" `Quick test_mobility_stays_in_box;
+          Alcotest.test_case "deterministic" `Quick test_mobility_deterministic;
           Alcotest.test_case "moves" `Quick test_mobility_moves;
           Alcotest.test_case "speed bound" `Quick test_mobility_speed_bound;
           Alcotest.test_case "zero speed" `Quick test_mobility_zero_speed;
