@@ -129,6 +129,23 @@ let ext_mobility () =
   let t = Figures.ext_mobility ~config ~d:6. () in
   print_string (Figures.render_mobility t)
 
+(* BENCH_timing.json holds two independently produced sections — the
+   Bechamel table (from [timing]) and the per-broadcast
+   latency/allocation table (from [alloc]).  Each experiment stores its
+   fragment here and the file is rewritten with whichever sections the
+   current invocation produced, so `--json . timing alloc` emits both. *)
+let timing_json_section = ref None
+let alloc_json_section = ref None
+
+let flush_timing_json () =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let sections = List.filter_map (fun r -> !r) [ timing_json_section; alloc_json_section ] in
+    if sections <> [] then
+      write_json ~dir ~name:"BENCH_timing.json"
+        (Printf.sprintf "{\n%s\n}\n" (String.concat ",\n" sections))
+
 (* Bechamel micro-benchmarks: one Test.make per reproduced table — each
    times the per-sample unit of work behind that figure at the paper's
    largest scale (n = 100), plus the substrate stages. *)
@@ -201,19 +218,111 @@ let timing () =
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-28s %14.0f %8.3f\n" name ns r2)
     rows;
-  match !json_dir with
-  | None -> ()
-  | Some dir ->
-    let entries =
-      List.map
-        (fun (name, ns, r2) ->
-          Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}" name
-            (json_float ns) (json_float r2))
-        rows
-    in
-    write_json ~dir ~name:"BENCH_timing.json"
-      (Printf.sprintf "{\n  \"n\": 100,\n  \"avg_degree\": 6,\n  \"results\": [\n%s\n  ]\n}\n"
-         (String.concat ",\n" entries))
+  let entries =
+    List.map
+      (fun (name, ns, r2) ->
+        Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}" name
+          (json_float ns) (json_float r2))
+      rows
+  in
+  timing_json_section :=
+    Some
+      (Printf.sprintf "  \"n\": 100,\n  \"avg_degree\": 6,\n  \"results\": [\n%s\n  ]"
+         (String.concat ",\n" entries));
+  flush_timing_json ()
+
+(* Per-broadcast latency and allocation at the sweep scale (n = 1000,
+   d = 12): prepare each protocol once, then run broadcasts back to
+   back through the uniform pipeline — the same motion as [Metric]'s
+   per-source loops, reusing the calling domain's engine arena.  The
+   seed_* fields are the measurements recorded before the CSR/arena
+   rework and stay pinned so the JSON carries the before/after pair;
+   the ceiling is a hard bound on minor words per broadcast — exceed
+   it and the bench exits nonzero, failing the CI smoke run. *)
+let alloc_cases =
+  (* name, ceiling (minor words/broadcast), seed µs, seed minor words *)
+  (* The pipeline protocols' ceilings sit below a tenth of their seed
+     measurements, so the guard enforces the >= 10x reduction outright;
+     the dynamic backbone keeps its bespoke designation loop and is only
+     pinned against regressing past the seed. *)
+  [
+    ("flooding", 16_000., 4548.7, 181_307.);
+    ("static-2.5hop", 9_000., 2559.7, 94_252.);
+    ("dynamic-2.5hop", 440_000., 4007.8, 440_236.);
+  ]
+
+let alloc () =
+  section "Allocation: per-broadcast cost on the uniform pipeline (n = 1000, d = 12)";
+  let n = 1000 in
+  let reps = if !quick then 40 else 200 in
+  let spec = Manet_topology.Spec.make ~n ~avg_degree:12. () in
+  let sample =
+    Manet_topology.Generator.sample_connected (Manet_rng.Rng.create ~seed:1005) spec
+  in
+  let g = sample.Manet_topology.Generator.graph in
+  Printf.printf "%-18s %10s %10s %14s %14s %10s\n" "protocol" "us/bcast" "seed us" "words/bcast"
+    "seed words" "ceiling";
+  let failures = ref [] in
+  let rows =
+    List.map
+      (fun (name, ceiling, seed_us, seed_words) ->
+        let p = Manet_protocols.Registry.find_exn name in
+        let env = Manet_broadcast.Protocol.make_env ~rng:(Manet_rng.Rng.create ~seed:17) g in
+        let built = p.Manet_broadcast.Protocol.prepare env in
+        let mode = Manet_broadcast.Protocol.Perfect in
+        (* Warm-up grows the arena to this graph's capacity, so the
+           timed loop measures steady-state reuse. *)
+        for s = 0 to 2 do
+          ignore (built.Manet_broadcast.Protocol.run ~source:s ~mode)
+        done;
+        let w0 = Gc.minor_words () in
+        let t0 = Sys.time () in
+        for i = 0 to reps - 1 do
+          ignore (built.Manet_broadcast.Protocol.run ~source:(i mod n) ~mode)
+        done;
+        let dt = Sys.time () -. t0 in
+        let words = (Gc.minor_words () -. w0) /. float_of_int reps in
+        let us = 1e6 *. dt /. float_of_int reps in
+        if words > ceiling then failures := name :: !failures;
+        Printf.printf "%-18s %10.1f %10.1f %14.0f %14.0f %10.0f%s\n" name us seed_us words
+          seed_words ceiling
+          (if words > ceiling then "  EXCEEDED" else "");
+        (name, us, words, ceiling, seed_us, seed_words))
+      alloc_cases
+  in
+  let entries =
+    List.map
+      (fun (name, us, words, ceiling, seed_us, seed_words) ->
+        Printf.sprintf
+          "      {\"name\": %S, \"us_per_broadcast\": %s, \"minor_words_per_broadcast\": %s, \
+           \"ceiling_words\": %s, \"seed_us_per_broadcast\": %s, \
+           \"seed_minor_words_per_broadcast\": %s, \"speedup\": %s, \"alloc_reduction\": %s}"
+          name (json_float us) (json_float words) (json_float ceiling) (json_float seed_us)
+          (json_float seed_words)
+          (json_float (seed_us /. us))
+          (json_float (seed_words /. words)))
+      rows
+  in
+  alloc_json_section :=
+    Some
+      (Printf.sprintf
+         "  \"per_broadcast\": {\n\
+          \    \"n\": 1000,\n\
+          \    \"avg_degree\": 12,\n\
+          \    \"reps\": %d,\n\
+          \    \"mode\": \"perfect\",\n\
+          \    \"results\": [\n\
+          %s\n\
+          \    ]\n\
+          \  }"
+         reps
+         (String.concat ",\n" entries));
+  flush_timing_json ();
+  if !failures <> [] then begin
+    Printf.eprintf "alloc: minor-words-per-broadcast ceiling exceeded: %s\n"
+      (String.concat ", " (List.rev !failures));
+    exit 1
+  end
 
 (* Scalability: wall-clock of each construction as n grows an order of
    magnitude past the paper's largest network, at fixed density. *)
@@ -283,6 +392,7 @@ let experiments =
     ("ext-mobility", ext_mobility);
     ("timing", timing);
     ("timing-scale", timing_scale);
+    ("alloc", alloc);
   ]
 
 let usage () =
@@ -298,6 +408,9 @@ let () =
     | "--quick" :: rest ->
       quick := true;
       parse acc rest
+    | "--alloc" :: rest ->
+      (* Alias for the alloc experiment, so CI can say `bench --alloc`. *)
+      parse ("alloc" :: acc) rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse acc rest

@@ -4,15 +4,15 @@ module Nodeset = Manet_graph.Nodeset
 type t = { graph : Graph.t; marked : Nodeset.t; members : Nodeset.t }
 
 let marking g =
+  let off, nbr = Graph.csr g in
   let marked = ref Nodeset.empty in
   for v = 0 to Graph.n g - 1 do
-    let nbrs = Graph.neighbors g v in
+    let lo = off.(v) and hi = off.(v + 1) in
     let has_unconnected_pair =
       let found = ref false in
-      let d = Array.length nbrs in
-      for i = 0 to d - 1 do
-        for j = i + 1 to d - 1 do
-          if (not !found) && not (Graph.mem_edge g nbrs.(i) nbrs.(j)) then found := true
+      for i = lo to hi - 1 do
+        for j = i + 1 to hi - 1 do
+          if (not !found) && not (Graph.mem_edge g nbr.(i) nbr.(j)) then found := true
         done
       done;
       !found
@@ -43,12 +43,12 @@ let build g =
   Nodeset.iter
     (fun v ->
       if Nodeset.mem v !members then begin
-        let nbrs = Graph.neighbors g v in
-        let d = Array.length nbrs in
+        let off, nbr = Graph.csr g in
+        let lo = off.(v) and hi = off.(v + 1) in
         let dominated = ref false in
-        for i = 0 to d - 1 do
-          for j = i + 1 to d - 1 do
-            let u = nbrs.(i) and w = nbrs.(j) in
+        for i = lo to hi - 1 do
+          for j = i + 1 to hi - 1 do
+            let u = nbr.(i) and w = nbr.(j) in
             if
               (not !dominated)
               && u > v && w > v

@@ -22,6 +22,32 @@
     order, so when several copies arrive in the same time unit the
     receiver sees the one from the smallest sender id. *)
 
+module Arena : sig
+  type t
+  (** Reusable engine scratch: generation-tagged delivered/transmitted
+      maps, the pending-reception heap and the transmission timeline.
+      Reusing an arena across broadcasts makes the engine's steady-state
+      allocation O(1) (only the caller-owned {!Result.t} and timeline
+      are built per run) and never changes results — runs are
+      bit-identical whether the arena is fresh, reused, or absent.
+
+      Ownership: an arena is single-threaded state.  One arena must not
+      be shared between concurrently running domains; keep one arena per
+      worker (that is what {!get} provides).  Reentrancy is safe: a
+      broadcast started from inside another broadcast's [decide] finds
+      the arena mid-run and silently falls back to a private fresh
+      one. *)
+
+  val create : unit -> t
+  (** A fresh, empty arena.  Buffers grow to fit the largest graph it
+      serves and are retained between runs. *)
+
+  val get : unit -> t
+  (** The calling domain's own arena (domain-local storage) — the
+      default scratch for every engine run, so per-domain reuse needs no
+      explicit threading. *)
+end
+
 val run :
   Manet_graph.Graph.t ->
   source:int ->
@@ -49,6 +75,7 @@ val run_traced :
 
 val run_core :
   ?drop:(unit -> bool) ->
+  ?arena:Arena.t ->
   Manet_graph.Graph.t ->
   source:int ->
   initial:'a ->
@@ -60,4 +87,10 @@ val run_core :
     before the node sees it.  Defaults to never dropping, which is
     exactly {!run_traced}.  {!Lossy} and [Protocol] pass a closure that
     draws from their generator, so one code path serves the perfect and
-    the failure-injection engines. *)
+    the failure-injection engines.
+
+    [arena] supplies the run's scratch storage, reset by a generation
+    bump instead of reallocation; it defaults to the calling domain's
+    arena ({!Arena.get}), so repeated broadcasts on one domain already
+    reuse storage.  Results and timelines are bit-identical for any
+    arena state — see {!Arena}. *)

@@ -1,11 +1,13 @@
 module Rng = Manet_rng.Rng
 
-let run_traced g ~rng ~loss ~source ~initial ~decide =
+let run_traced ?arena g ~rng ~loss ~source ~initial ~decide =
   if loss < 0. || loss > 1. then invalid_arg "Lossy.run: loss must be within [0, 1]";
-  Engine.run_core ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss) g ~source ~initial ~decide
+  Engine.run_core
+    ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss)
+    ?arena g ~source ~initial ~decide
 
-let run g ~rng ~loss ~source ~initial ~decide =
-  fst (run_traced g ~rng ~loss ~source ~initial ~decide)
+let run ?arena g ~rng ~loss ~source ~initial ~decide =
+  fst (run_traced ?arena g ~rng ~loss ~source ~initial ~decide)
 
 let delivery_ratio p g ~rng ~loss ~source =
   Protocol.delivery_ratio p (Protocol.make_env ~rng g) ~loss ~source

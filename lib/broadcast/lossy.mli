@@ -14,6 +14,7 @@
     event loop serves the perfect and the lossy engine. *)
 
 val run :
+  ?arena:Engine.Arena.t ->
   Manet_graph.Graph.t ->
   rng:Manet_rng.Rng.t ->
   loss:float ->
@@ -22,11 +23,14 @@ val run :
   decide:(node:int -> from:int -> payload:'a -> 'a option) ->
   Result.t
 (** Same contract as {!Engine.run}, except each reception is dropped with
-    probability [loss] before the node sees it.
+    probability [loss] before the node sees it.  [arena] is the scratch
+    storage to reuse, defaulting to the calling domain's
+    ({!Engine.Arena.get}); results are bit-identical either way.
     @raise Invalid_argument if [loss] is outside [\[0, 1\]] or [source]
     is out of range. *)
 
 val run_traced :
+  ?arena:Engine.Arena.t ->
   Manet_graph.Graph.t ->
   rng:Manet_rng.Rng.t ->
   loss:float ->

@@ -13,16 +13,18 @@ type env = {
   graph : Graph.t;
   clustering : Manet_cluster.Clustering.t Lazy.t;
   rng : Rng.t;
+  arena : Engine.Arena.t;
 }
 
-let make_env ?clustering ?rng graph =
+let make_env ?clustering ?rng ?arena graph =
   let clustering =
     match clustering with
     | Some c -> c
     | None -> lazy (Manet_cluster.Lowest_id.cluster graph)
   in
   let rng = match rng with Some r -> r | None -> Rng.create ~seed:0 in
-  { graph; clustering; rng }
+  let arena = match arena with Some a -> a | None -> Engine.Arena.get () in
+  { graph; clustering; rng; arena }
 
 type mode = Perfect | Lossy of float
 
@@ -44,13 +46,13 @@ type t = {
    loss 0 is bit-identical to [Perfect]. *)
 let run_decide env ~source ~mode ~initial ~decide =
   match mode with
-  | Perfect -> Engine.run_traced env.graph ~source ~initial ~decide
+  | Perfect -> Engine.run_core ~arena:env.arena env.graph ~source ~initial ~decide
   | Lossy loss ->
     if loss < 0. || loss > 1. then invalid_arg "Protocol.run: loss must be within [0, 1]";
     let rng = env.rng in
     Engine.run_core
       ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss)
-      env.graph ~source ~initial ~decide
+      ~arena:env.arena env.graph ~source ~initial ~decide
 
 let si_decide members ~node ~from:_ ~payload:() =
   if Nodeset.mem node members then Some () else None

@@ -39,22 +39,27 @@ val family_tag : family -> string
 (** ["SI"], ["SD"] or ["prob"] — the tag used in listings. *)
 
 (** What a protocol may consume, threaded uniformly by every driver:
-    the topology, a clustering (forced only by cluster-based schemes)
-    and a generator (drawn from only by probabilistic schemes and by
-    loss injection). *)
+    the topology, a clustering (forced only by cluster-based schemes),
+    a generator (drawn from only by probabilistic schemes and by loss
+    injection), and the engine arena its broadcasts reuse for scratch
+    storage. *)
 type env = {
   graph : Manet_graph.Graph.t;
   clustering : Manet_cluster.Clustering.t Lazy.t;
   rng : Manet_rng.Rng.t;
+  arena : Engine.Arena.t;
 }
 
 val make_env :
   ?clustering:Manet_cluster.Clustering.t Lazy.t ->
   ?rng:Manet_rng.Rng.t ->
+  ?arena:Engine.Arena.t ->
   Manet_graph.Graph.t ->
   env
 (** [clustering] defaults to (lazily) lowest-ID clustering of the graph;
-    [rng] defaults to a fresh seed-0 generator. *)
+    [rng] defaults to a fresh seed-0 generator; [arena] defaults to the
+    calling domain's arena ({!Engine.Arena.get}) — results never depend
+    on the choice. *)
 
 (** How one broadcast is executed. *)
 type mode =

@@ -336,6 +336,43 @@ let check_loss ctx (p : Protocol.t) =
     failf "%s: a node forwarded without receiving under loss %.3f" p.Protocol.name loss
   else Pass
 
+(* Arena-reuse transparency: the engine's documented contract is that
+   results never depend on the arena's state.  Replay the protocol with
+   equal generator states on a fresh arena, the domain's shared arena,
+   and an arena deliberately dirtied by an unrelated broadcast — all
+   three must be bit-identical, under the perfect and the lossy
+   engine. *)
+let check_arena_reuse ctx (p : Protocol.t) =
+  let module Engine = Manet_broadcast.Engine in
+  let g = ctx.case.Case.graph and source = ctx.case.Case.source in
+  let loss = Rng.float (Case.case_rng ctx.case ~salt:("arena-loss:" ^ p.Protocol.name)) 0.9 in
+  let run_with arena =
+    let env =
+      Protocol.make_env ~clustering:ctx.clustering
+        ~rng:(Case.case_rng ctx.case ~salt:("arena:" ^ p.Protocol.name))
+        ~arena g
+    in
+    let b = p.Protocol.prepare env in
+    let perfect = b.Protocol.run ~source ~mode:Protocol.Perfect in
+    let lossy, _ = b.Protocol.run ~source ~mode:(Protocol.Lossy loss) in
+    (perfect, lossy)
+  in
+  let dirty =
+    let a = Engine.Arena.create () in
+    ignore (Engine.run_core ~arena:a g ~source ~initial:() ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ()));
+    a
+  in
+  let (rf, tf), lf = run_with (Engine.Arena.create ()) in
+  let (rd, td), ld = run_with (Engine.Arena.get ()) in
+  let (rx, tx), lx = run_with dirty in
+  if not (result_equal rf rd && result_equal rf rx) then
+    failf "%s: perfect-mode results differ across arena states" p.Protocol.name
+  else if tf <> td || tf <> tx then
+    failf "%s: timelines differ across arena states" p.Protocol.name
+  else if not (result_equal lf ld && result_equal lf lx) then
+    failf "%s: lossy results (loss %.3f) differ across arena states" p.Protocol.name loss
+  else Pass
+
 (* ------------------------------------------------------------------ *)
 (* Catalog                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -388,6 +425,13 @@ let all =
       name = "loss-sanity";
       description = "a lossy broadcast stays self-consistent with a delivery ratio in [0, 1]";
       check = Per_protocol check_loss;
+    };
+    {
+      name = "arena-reuse";
+      description =
+        "broadcasts are bit-identical on a fresh, the domain's, and a dirty reused engine \
+         arena, under perfect and lossy engines";
+      check = Per_protocol check_arena_reuse;
     };
   ]
 

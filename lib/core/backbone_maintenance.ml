@@ -78,11 +78,24 @@ let update t g =
   let cluster_events = Maintenance.update t.maint g in
   let cl = Maintenance.clustering t.maint in
   let new_head_of = head_of_array cl n in
-  (* Affected nodes: adjacency changed or cluster role changed. *)
+  (* Affected nodes: adjacency changed or cluster role changed.  Rows are
+     compared in place on the CSR arrays — no per-node copies. *)
   let affected = ref Nodeset.empty in
+  let ooff, onbr = Graph.csr old_graph and noff, nnbr = Graph.csr g in
+  let same_row v =
+    let lo = ooff.(v) and ln = noff.(v) in
+    let d = ooff.(v + 1) - lo in
+    d = noff.(v + 1) - ln
+    &&
+    let i = ref 0 in
+    while !i < d && onbr.(lo + !i) = nnbr.(ln + !i) do
+      incr i
+    done;
+    !i = d
+  in
   for v = 0 to n - 1 do
-    if Graph.neighbors old_graph v <> Graph.neighbors g v || old_head_of.(v) <> new_head_of.(v)
-    then affected := Nodeset.add v !affected
+    if (not (same_row v)) || old_head_of.(v) <> new_head_of.(v) then
+      affected := Nodeset.add v !affected
   done;
   let report =
     if Nodeset.is_empty !affected then

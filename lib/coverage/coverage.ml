@@ -19,20 +19,23 @@ type t = {
    Well-defined for every node — clusterheads form an independent set, so
    a clusterhead's row is empty. *)
 let hop1_row g cl v =
-  let nbrs = Graph.neighbors g v in
+  let off, nbr = Graph.csr g in
+  let lo = off.(v) and hi = off.(v + 1) in
   let k = ref 0 in
-  Array.iter (fun u -> if Clustering.is_head cl u then incr k) nbrs;
+  for i = lo to hi - 1 do
+    if Clustering.is_head cl (Array.unsafe_get nbr i) then incr k
+  done;
   if !k = 0 then [||]
   else begin
     let out = Array.make !k 0 in
     let i = ref 0 in
-    Array.iter
-      (fun u ->
-        if Clustering.is_head cl u then begin
-          out.(!i) <- u;
-          incr i
-        end)
-      nbrs;
+    for j = lo to hi - 1 do
+      let u = Array.unsafe_get nbr j in
+      if Clustering.is_head cl u then begin
+        out.(!i) <- u;
+        incr i
+      end
+    done;
     out
   end
 
@@ -72,18 +75,21 @@ let hop2_row g cl mode ~hop1 ~stamp ~gen ~buf v =
     !buf.(!len) <- x;
     incr len
   in
-  Graph.iter_neighbors g v (fun w ->
-      if not (Clustering.is_head cl w) then begin
-        let record c =
-          if stamp.(c) <> tick then begin
-            stamp.(c) <- tick;
-            push ((c lsl shift) lor w)
-          end
-        in
-        match mode with
-        | Hop25 -> record (Clustering.head_of cl w)
-        | Hop3 -> Array.iter record (hop1 w)
-      end);
+  let off, nbr = Graph.csr g in
+  for i = off.(v) to off.(v + 1) - 1 do
+    let w = Array.unsafe_get nbr i in
+    if not (Clustering.is_head cl w) then begin
+      let record c =
+        if stamp.(c) <> tick then begin
+          stamp.(c) <- tick;
+          push ((c lsl shift) lor w)
+        end
+      in
+      match mode with
+      | Hop25 -> record (Clustering.head_of cl w)
+      | Hop3 -> Array.iter record (hop1 w)
+    end
+  done;
   let packed = Array.sub !buf 0 !len in
   Array.sort Int.compare packed;
   packed
@@ -159,24 +165,27 @@ let of_head_from g ~hop1 ~hop2 ~scratch cl mode u =
   in
   (* C2: all clusterheads named by the neighbors' CH_HOP1 messages, with
      the naming neighbors as direct connectors. *)
+  let goff, gnbr = Graph.csr g in
   let k2 = ref 0 in
-  Graph.iter_neighbors g u (fun v ->
-      Array.iter
-        (fun c ->
-          if c <> u then begin
-            if tag2.(c) <> u then begin
-              tag2.(c) <- u;
-              slot.(c) <- !k2;
-              keys.(!k2) <- c;
-              cnt.(!k2) <- 0;
-              chain.(!k2) <- -1;
-              incr k2
-            end;
-            let s = slot.(c) in
-            cnt.(s) <- cnt.(s) + 1;
-            push_entry v s
-          end)
-        (hop1 v));
+  for i = goff.(u) to goff.(u + 1) - 1 do
+    let v = Array.unsafe_get gnbr i in
+    Array.iter
+      (fun c ->
+        if c <> u then begin
+          if tag2.(c) <> u then begin
+            tag2.(c) <- u;
+            slot.(c) <- !k2;
+            keys.(!k2) <- c;
+            cnt.(!k2) <- 0;
+            chain.(!k2) <- -1;
+            incr k2
+          end;
+          let s = slot.(c) in
+          cnt.(s) <- cnt.(s) + 1;
+          push_entry v s
+        end)
+      (hop1 v)
+  done;
   let sorted2 = Array.sub keys 0 !k2 in
   Array.sort Int.compare sorted2;
   let c2 =
@@ -201,24 +210,26 @@ let of_head_from g ~hop1 ~hop2 ~scratch cl mode u =
   let mask = (1 lsl shift) - 1 in
   n_entries := 0;
   let k3 = ref 0 in
-  Graph.iter_neighbors g u (fun v ->
-      Array.iter
-        (fun x ->
-          let c = x lsr shift in
-          if c <> u && tag2.(c) <> u then begin
-            if tag3.(c) <> u then begin
-              tag3.(c) <- u;
-              slot.(c) <- !k3;
-              keys.(!k3) <- c;
-              cnt.(!k3) <- 0;
-              chain.(!k3) <- -1;
-              incr k3
-            end;
-            let s = slot.(c) in
-            cnt.(s) <- cnt.(s) + 1;
-            push_entry ((v lsl shift) lor (x land mask)) s
-          end)
-        (hop2 v));
+  for i = goff.(u) to goff.(u + 1) - 1 do
+    let v = Array.unsafe_get gnbr i in
+    Array.iter
+      (fun x ->
+        let c = x lsr shift in
+        if c <> u && tag2.(c) <> u then begin
+          if tag3.(c) <> u then begin
+            tag3.(c) <- u;
+            slot.(c) <- !k3;
+            keys.(!k3) <- c;
+            cnt.(!k3) <- 0;
+            chain.(!k3) <- -1;
+            incr k3
+          end;
+          let s = slot.(c) in
+          cnt.(s) <- cnt.(s) + 1;
+          push_entry ((v lsl shift) lor (x land mask)) s
+        end)
+      (hop2 v)
+  done;
   let sorted3 = Array.sub keys 0 !k3 in
   Array.sort Int.compare sorted3;
   let c3 =
@@ -272,21 +283,24 @@ module Cache = struct
        empty row directly (they form an independent set, so scanning
        their neighbors would find no head anyway). *)
     let hop1 =
+      let off, nbr = Graph.csr g in
       let buf = ref (Array.make 64 0) in
       Array.init (Graph.n g) (fun v ->
           if Clustering.is_head cl v then [||]
           else begin
             let len = ref 0 in
-            Graph.iter_neighbors g v (fun u ->
-                if Clustering.is_head cl u then begin
-                  if !len = Array.length !buf then begin
-                    let b = Array.make (2 * Array.length !buf) 0 in
-                    Array.blit !buf 0 b 0 !len;
-                    buf := b
-                  end;
-                  !buf.(!len) <- u;
-                  incr len
-                end);
+            for i = off.(v) to off.(v + 1) - 1 do
+              let u = Array.unsafe_get nbr i in
+              if Clustering.is_head cl u then begin
+                if !len = Array.length !buf then begin
+                  let b = Array.make (2 * Array.length !buf) 0 in
+                  Array.blit !buf 0 b 0 !len;
+                  buf := b
+                end;
+                !buf.(!len) <- u;
+                incr len
+              end
+            done;
             Array.sub !buf 0 !len
           end)
     in

@@ -7,12 +7,15 @@ type t = { name : string; eval : Context.t -> float }
 
 (* The context is the protocol environment: same topology, same
    clustering, same per-sample generator for every protocol under
-   comparison. *)
+   comparison.  The arena is the evaluating domain's own — metrics run
+   on sweep worker domains, so each worker reuses its private engine
+   scratch across every sample it evaluates. *)
 let env_of ctx =
   {
     Protocol.graph = Context.graph ctx;
     clustering = lazy ctx.Context.clustering;
     rng = ctx.Context.rng;
+    arena = Manet_broadcast.Engine.Arena.get ();
   }
 
 let prepared ?clustering protocol ctx =

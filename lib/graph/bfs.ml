@@ -1,16 +1,29 @@
+(* Breadth-first traversals are the substrate for every coverage and
+   backbone computation, so the frontier is a flat int array (each node
+   enters at most once) and the inner loop scans the CSR row directly —
+   no Queue cells, no per-pop closure. *)
+
 let distances_upto g ~source ~limit =
-  let dist = Array.make (Graph.n g) max_int in
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
   dist.(source) <- 0;
-  let q = Queue.create () in
-  Queue.add source q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    if dist.(u) < limit then
-      Graph.iter_neighbors g u (fun v ->
-          if dist.(v) = max_int then begin
-            dist.(v) <- dist.(u) + 1;
-            Queue.add v q
-          end)
+  let off, nbr = Graph.csr g in
+  let queue = Array.make (max n 1) 0 in
+  queue.(0) <- source;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = Array.unsafe_get dist u in
+    if du < limit then
+      for i = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+        let v = Array.unsafe_get nbr i in
+        if Array.unsafe_get dist v = max_int then begin
+          Array.unsafe_set dist v (du + 1);
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
   done;
   dist
 
@@ -36,18 +49,23 @@ let eccentricity g v =
   Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 (distances g ~source:v)
 
 let bfs_order g ~source =
-  let seen = Array.make (Graph.n g) false in
+  let n = Graph.n g in
+  let seen = Array.make n false in
   seen.(source) <- true;
-  let q = Queue.create () in
-  Queue.add source q;
-  let order = ref [] in
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    order := u :: !order;
-    Graph.iter_neighbors g u (fun v ->
-        if not seen.(v) then begin
-          seen.(v) <- true;
-          Queue.add v q
-        end)
+  let off, nbr = Graph.csr g in
+  let queue = Array.make (max n 1) 0 in
+  queue.(0) <- source;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for i = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+      let v = Array.unsafe_get nbr i in
+      if not (Array.unsafe_get seen v) then begin
+        Array.unsafe_set seen v true;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
-  List.rev !order
+  List.init !tail (fun i -> queue.(i))

@@ -2,18 +2,26 @@ let components g =
   let n = Graph.n g in
   let comp = Array.make n (-1) in
   let k = ref 0 in
-  let q = Queue.create () in
+  let off, nbr = Graph.csr g in
+  (* Flat BFS frontier: each node is enqueued exactly once across the
+     whole sweep, so one n-slot array serves every component. *)
+  let queue = Array.make (max n 1) 0 in
   for v = 0 to n - 1 do
     if comp.(v) < 0 then begin
       comp.(v) <- !k;
-      Queue.add v q;
-      while not (Queue.is_empty q) do
-        let u = Queue.pop q in
-        Graph.iter_neighbors g u (fun w ->
-            if comp.(w) < 0 then begin
-              comp.(w) <- !k;
-              Queue.add w q
-            end)
+      queue.(0) <- v;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        for i = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+          let w = Array.unsafe_get nbr i in
+          if Array.unsafe_get comp w < 0 then begin
+            Array.unsafe_set comp w !k;
+            queue.(!tail) <- w;
+            incr tail
+          end
+        done
       done;
       incr k
     end
@@ -31,16 +39,22 @@ let component_sizes g =
 let reachable_within g ~from s =
   if not (Nodeset.mem from s) then Nodeset.empty
   else begin
+    let off, nbr = Graph.csr g in
     let seen = ref (Nodeset.singleton from) in
-    let q = Queue.create () in
-    Queue.add from q;
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      Graph.iter_neighbors g u (fun v ->
-          if Nodeset.mem v s && not (Nodeset.mem v !seen) then begin
-            seen := Nodeset.add v !seen;
-            Queue.add v q
-          end)
+    let queue = Array.make (max (Graph.n g) 1) 0 in
+    queue.(0) <- from;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      for i = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+        let v = Array.unsafe_get nbr i in
+        if Nodeset.mem v s && not (Nodeset.mem v !seen) then begin
+          seen := Nodeset.add v !seen;
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
     done;
     !seen
   end

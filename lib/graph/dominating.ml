@@ -1,17 +1,33 @@
 let undominated g s =
+  let off, nbr = Graph.csr g in
   let out = ref Nodeset.empty in
   for v = 0 to Graph.n g - 1 do
-    let dominated =
-      Nodeset.mem v s || Graph.fold_neighbors g v (fun acc u -> acc || Nodeset.mem u s) false
-    in
-    if not dominated then out := Nodeset.add v !out
+    let dominated = ref (Nodeset.mem v s) in
+    let i = ref off.(v) in
+    let hi = off.(v + 1) in
+    while (not !dominated) && !i < hi do
+      if Nodeset.mem (Array.unsafe_get nbr !i) s then dominated := true;
+      incr i
+    done;
+    if not !dominated then out := Nodeset.add v !out
   done;
   !out
 
 let is_dominating g s = Nodeset.is_empty (undominated g s)
 
 let is_independent g s =
-  Nodeset.for_all (fun u -> not (Graph.fold_neighbors g u (fun acc v -> acc || Nodeset.mem v s) false)) s
+  let off, nbr = Graph.csr g in
+  Nodeset.for_all
+    (fun u ->
+      let clash = ref false in
+      let i = ref off.(u) in
+      let hi = off.(u + 1) in
+      while (not !clash) && !i < hi do
+        if Nodeset.mem (Array.unsafe_get nbr !i) s then clash := true;
+        incr i
+      done;
+      not !clash)
+    s
 
 let is_cds g s =
   (if Graph.n g > 0 then not (Nodeset.is_empty s) else true)

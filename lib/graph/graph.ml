@@ -1,73 +1,162 @@
-type t = { n : int; m : int; adj : int array array }
+(* Flat CSR (compressed sparse row) storage: node [v]'s neighbor row is
+   [nbr.(off.(v)) .. nbr.(off.(v+1) - 1)], sorted strictly increasing.
+   The whole adjacency lives in two int arrays, so traversals touch one
+   contiguous buffer instead of chasing a pointer per row. *)
+type t = { n : int; m : int; off : int array; nbr : int array }
 
-(* Sorts a row in place and returns it with duplicates squeezed out. *)
-let sort_dedup a =
-  Array.sort Int.compare a;
-  let len = Array.length a in
-  if len = 0 then a
-  else begin
-    let k = ref 1 in
-    for i = 1 to len - 1 do
-      if a.(i) <> a.(i - 1) then begin
-        a.(!k) <- a.(i);
-        incr k
-      end
-    done;
-    if !k = len then a else Array.sub a 0 !k
+(* In-place sort of [a.(lo) .. a.(hi - 1)]: insertion sort for short rows,
+   heapsort above that.  Both are allocation-free, which keeps graph
+   construction off the minor heap. *)
+let sort_range a lo hi =
+  let len = hi - lo in
+  if len > 1 then begin
+    if len <= 16 then
+      for i = lo + 1 to hi - 1 do
+        let x = Array.unsafe_get a i in
+        let j = ref (i - 1) in
+        while !j >= lo && Array.unsafe_get a !j > x do
+          Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+          decr j
+        done;
+        Array.unsafe_set a (!j + 1) x
+      done
+    else begin
+      let swap i j =
+        let tmp = a.(lo + i) in
+        a.(lo + i) <- a.(lo + j);
+        a.(lo + j) <- tmp
+      in
+      let rec sift root len =
+        let l = (2 * root) + 1 in
+        if l < len then begin
+          let c = if l + 1 < len && a.(lo + l + 1) > a.(lo + l) then l + 1 else l in
+          if a.(lo + c) > a.(lo + root) then begin
+            swap c root;
+            sift c len
+          end
+        end
+      in
+      for root = (len - 2) / 2 downto 0 do
+        sift root len
+      done;
+      for last = len - 1 downto 1 do
+        swap 0 last;
+        sift 0 last
+      done
+    end
   end
+
+(* Shared CSR assembly over a packed half-edge buffer: [buf.(2k)] and
+   [buf.(2k + 1)] are the endpoints of edge [k], each undirected edge
+   appearing exactly once.  Counts degrees, prefix-sums the offsets and
+   scatters both directions; rows are then sorted in place. *)
+let csr_of_pairs ~n ~len buf =
+  let off = Array.make (n + 1) 0 in
+  let k = ref 0 in
+  while !k < len do
+    let u = Array.unsafe_get buf !k and v = Array.unsafe_get buf (!k + 1) in
+    off.(u + 1) <- off.(u + 1) + 1;
+    off.(v + 1) <- off.(v + 1) + 1;
+    k := !k + 2
+  done;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let nbr = Array.make off.(n) 0 in
+  let cur = Array.copy off in
+  let k = ref 0 in
+  while !k < len do
+    let u = Array.unsafe_get buf !k and v = Array.unsafe_get buf (!k + 1) in
+    nbr.(cur.(u)) <- v;
+    cur.(u) <- cur.(u) + 1;
+    nbr.(cur.(v)) <- u;
+    cur.(v) <- cur.(v) + 1;
+    k := !k + 2
+  done;
+  for v = 0 to n - 1 do
+    sort_range nbr off.(v) off.(v + 1)
+  done;
+  (off, nbr)
+
+let of_half_edges ~n ~len buf =
+  if n < 0 then invalid_arg "Graph.of_half_edges: negative n";
+  if len < 0 || len land 1 <> 0 || len > Array.length buf then
+    invalid_arg "Graph.of_half_edges: bad buffer length";
+  let k = ref 0 in
+  while !k < len do
+    let u = Array.unsafe_get buf !k and v = Array.unsafe_get buf (!k + 1) in
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_half_edges: endpoint out of range";
+    if u = v then invalid_arg "Graph.of_half_edges: self-loop";
+    k := !k + 2
+  done;
+  let off, nbr = csr_of_pairs ~n ~len buf in
+  { n; m = len / 2; off; nbr }
+
+(* Squeezes duplicate entries out of every (sorted) row in place,
+   rebuilding the offsets.  The write cursor never passes the read
+   cursor, so the compaction is safe on the shared buffer. *)
+let dedup_rows n off nbr =
+  let w = ref 0 in
+  let row_start = ref 0 in
+  for v = 0 to n - 1 do
+    let lo = !row_start and hi = off.(v + 1) in
+    row_start := hi;
+    off.(v) <- !w;
+    for i = lo to hi - 1 do
+      if i = lo || nbr.(i) <> nbr.(i - 1) then begin
+        nbr.(!w) <- nbr.(i);
+        incr w
+      end
+    done
+  done;
+  off.(n) <- !w;
+  if !w = Array.length nbr then nbr else Array.sub nbr 0 !w
 
 let of_edges ~n edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
   let check v = if v < 0 || v >= n then invalid_arg "Graph.of_edges: endpoint out of range" in
-  let deg = Array.make n 0 in
+  let count = List.length edges in
+  let buf = Array.make (2 * count) 0 in
+  let k = ref 0 in
   List.iter
     (fun (u, v) ->
       check u;
       check v;
       if u = v then invalid_arg "Graph.of_edges: self-loop";
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
+      buf.(!k) <- u;
+      buf.(!k + 1) <- v;
+      k := !k + 2)
     edges;
-  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
-  let fill = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
-      fill.(v) <- fill.(v) + 1)
-    edges;
-  let m = ref 0 in
-  let adj =
-    Array.map
-      (fun a ->
-        let a = sort_dedup a in
-        m := !m + Array.length a;
-        a)
-      adj
-  in
-  { n; m = !m / 2; adj }
+  let off, nbr = csr_of_pairs ~n ~len:(2 * count) buf in
+  let nbr = dedup_rows n off nbr in
+  { n; m = off.(n) / 2; off; nbr }
 
 let of_adjacency adj =
   let n = Array.length adj in
-  let m = ref 0 in
-  Array.iter
-    (fun a ->
-      Array.sort Int.compare a;
-      m := !m + Array.length a)
-    adj;
-  Array.iteri
-    (fun v a ->
-      Array.iteri
-        (fun i u ->
-          if u < 0 || u >= n then invalid_arg "Graph.of_adjacency: endpoint out of range";
-          if u = v then invalid_arg "Graph.of_adjacency: self-loop";
-          if i > 0 && a.(i - 1) = u then invalid_arg "Graph.of_adjacency: duplicate edge")
-        a)
-    adj;
-  { n; m = !m / 2; adj }
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + Array.length adj.(v)
+  done;
+  let nbr = Array.make off.(n) 0 in
+  for v = 0 to n - 1 do
+    Array.blit adj.(v) 0 nbr off.(v) (Array.length adj.(v))
+  done;
+  for v = 0 to n - 1 do
+    let lo = off.(v) and hi = off.(v + 1) in
+    sort_range nbr lo hi;
+    for i = lo to hi - 1 do
+      let u = nbr.(i) in
+      if u < 0 || u >= n then invalid_arg "Graph.of_adjacency: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_adjacency: self-loop";
+      if i > lo && nbr.(i - 1) = u then invalid_arg "Graph.of_adjacency: duplicate edge"
+    done
+  done;
+  { n; m = off.(n) / 2; off; nbr }
 
-let empty n = of_edges ~n []
+let empty n =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  { n; m = 0; off = Array.make (n + 1) 0; nbr = [||] }
 
 let complete n =
   let edges = ref [] in
@@ -88,36 +177,56 @@ let star n = of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
 
 let n t = t.n
 let m t = t.m
-let neighbors t v = t.adj.(v)
-let degree t v = Array.length t.adj.(v)
-let max_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+let csr t = (t.off, t.nbr)
+let neighbors t v = Array.sub t.nbr t.off.(v) (t.off.(v + 1) - t.off.(v))
+let degree t v = t.off.(v + 1) - t.off.(v)
+
+let max_degree t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    let dv = t.off.(v + 1) - t.off.(v) in
+    if dv > !d then d := dv
+  done;
+  !d
+
 let avg_degree t = if t.n = 0 then 0. else 2. *. float_of_int t.m /. float_of_int t.n
 
 let mem_edge t u v =
-  let a = t.adj.(u) in
+  let nbr = t.nbr in
   let rec search lo hi =
     if lo >= hi then false
     else begin
       let mid = (lo + hi) / 2 in
-      if a.(mid) = v then true else if a.(mid) < v then search (mid + 1) hi else search lo mid
+      let x = Array.unsafe_get nbr mid in
+      if x = v then true else if x < v then search (mid + 1) hi else search lo mid
     end
   in
-  u <> v && search 0 (Array.length a)
+  u <> v && search t.off.(u) t.off.(u + 1)
 
-let iter_neighbors t v f = Array.iter f t.adj.(v)
-let fold_neighbors t v f init = Array.fold_left f init t.adj.(v)
+let iter_neighbors t v f =
+  let nbr = t.nbr in
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    f (Array.unsafe_get nbr i)
+  done
+
+let fold_neighbors t v f init =
+  let nbr = t.nbr in
+  let acc = ref init in
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get nbr i)
+  done;
+  !acc
 
 let edges t =
   let acc = ref [] in
   for u = t.n - 1 downto 0 do
-    let a = t.adj.(u) in
-    for i = Array.length a - 1 downto 0 do
-      if a.(i) > u then acc := (u, a.(i)) :: !acc
+    for i = t.off.(u + 1) - 1 downto t.off.(u) do
+      if t.nbr.(i) > u then acc := (u, t.nbr.(i)) :: !acc
     done
   done;
   !acc
 
-let open_neighborhood t v = Array.fold_left (fun s u -> Nodeset.add u s) Nodeset.empty t.adj.(v)
+let open_neighborhood t v = fold_neighbors t v (fun s u -> Nodeset.add u s) Nodeset.empty
 let closed_neighborhood t v = Nodeset.add v (open_neighborhood t v)
 
 let induced t s =
@@ -127,20 +236,20 @@ let induced t s =
   let edges = ref [] in
   Array.iteri
     (fun i v ->
-      Array.iter
-        (fun w ->
+      iter_neighbors t v (fun w ->
           match Hashtbl.find_opt fwd w with
           | Some j when i < j -> edges := (i, j) :: !edges
-          | Some _ | None -> ())
-        t.adj.(v))
+          | Some _ | None -> ()))
     back;
   (of_edges ~n:(Array.length back) !edges, back)
 
-let equal a b = a.n = b.n && a.adj = b.adj
+(* Rows are sorted and duplicate-free, so the CSR arrays are a canonical
+   form: structural equality on them is graph equality. *)
+let equal a b = a.n = b.n && a.off = b.off && a.nbr = b.nbr
 
 let pp fmt t =
   for v = 0 to t.n - 1 do
     Format.fprintf fmt "%d:" v;
-    Array.iter (fun u -> Format.fprintf fmt " %d" u) t.adj.(v);
+    iter_neighbors t v (fun u -> Format.fprintf fmt " %d" u);
     Format.pp_print_newline fmt ()
   done

@@ -3,8 +3,9 @@
     A MANET is modeled as a unit disk graph (Section 1 of the paper):
     nodes are hosts, edges are bidirectional links between hosts within
     transmission range.  This module is the representation every algorithm
-    works on — adjacency is stored as sorted arrays, so neighbor iteration
-    is cache-friendly and membership tests are O(log degree). *)
+    works on — adjacency is stored in flat CSR form (one concatenated
+    neighbor array plus an [n+1] offset array), so neighbor iteration is a
+    contiguous scan and membership tests are O(log degree). *)
 
 type t
 
@@ -16,13 +17,23 @@ val of_edges : n:int -> (int * int) list -> t
 
 val of_adjacency : int array array -> t
 (** [of_adjacency adj] builds the graph whose node [v] has exactly the
-    neighbors [adj.(v)] — the bulk-construction fast path behind
-    {!Unit_disk.build}, skipping the intermediate edge list of
-    {!of_edges}.  Takes ownership of [adj]: rows are sorted in place and
-    become the internal adjacency.  Rows must be symmetric ([u] in
-    [adj.(v)] iff [v] in [adj.(u)]) and duplicate-free — duplicates,
-    self-loops, and out-of-range endpoints raise [Invalid_argument];
-    asymmetry is not checked. *)
+    neighbors [adj.(v)], copied into the internal CSR arrays (the caller
+    keeps ownership of [adj]).  Rows must be symmetric ([u] in [adj.(v)]
+    iff [v] in [adj.(u)]) and duplicate-free — duplicates, self-loops,
+    and out-of-range endpoints raise [Invalid_argument]; asymmetry is
+    not checked. *)
+
+val of_half_edges : n:int -> len:int -> int array -> t
+(** [of_half_edges ~n ~len buf] builds a graph on [n] nodes from a packed
+    half-edge buffer: [buf.(2k)] and [buf.(2k + 1)] are the endpoints of
+    edge [k] for [2k < len], each undirected edge listed exactly once (in
+    either orientation).  This is the bulk-construction fast path behind
+    {!Unit_disk.build}: the CSR arrays are filled straight from the
+    buffer, with no intermediate per-row arrays or edge list.  Slack
+    beyond [len] is ignored, so a growable buffer can be passed as-is.
+    Duplicate edges are not detected (the resulting graph would be
+    malformed); self-loops, out-of-range endpoints, an odd or negative
+    [len], and [len > Array.length buf] raise [Invalid_argument]. *)
 
 val empty : int -> t
 (** [empty n] has [n] nodes and no edges. *)
@@ -45,8 +56,16 @@ val m : t -> int
 (** Number of (undirected) edges. *)
 
 val neighbors : t -> int -> int array
-(** Sorted, strictly increasing.  The returned array is the internal one —
-    callers must not mutate it. *)
+(** Sorted, strictly increasing.  Returns a fresh copy of the CSR row —
+    use {!iter_neighbors}/{!fold_neighbors} (or {!csr}) on hot paths to
+    avoid the allocation. *)
+
+val csr : t -> int array * int array
+(** [csr g] is the internal [(off, nbr)] CSR pair: node [v]'s neighbor
+    row is [nbr.(off.(v)) .. nbr.(off.(v + 1) - 1)], sorted strictly
+    increasing.  The arrays are the graph's own storage — read-only;
+    mutating them corrupts the graph.  Intended for inner loops that
+    cannot afford the closure of {!iter_neighbors}. *)
 
 val degree : t -> int -> int
 

@@ -1,9 +1,56 @@
 include Set.Make (Int)
 
+(* Mirror of [Set.Make(Int)]'s internal representation (stdlib set.ml,
+   unchanged since 4.03: [Empty | Node of {l; v; r; h}]).  Building the
+   balanced tree directly lets [of_increasing] spend exactly one tree
+   node per element, where [of_list] re-sorts its input even when it is
+   already sorted — on a 1000-forwarder broadcast that sort is the bulk
+   of the per-run allocations once the engine arena reuses everything
+   else.  [build] produces a perfectly balanced tree (sibling heights
+   differ by at most one, within the stdlib's AVL slack of two) with
+   true heights in [h], so sets built here behave identically under
+   every subsequent operation; the test suite checks them against
+   [of_list]-built sets, including after further adds and removes. *)
+type repr = Empty | Node of { l : repr; v : int; r : repr; h : int }
+
+external of_repr : repr -> t = "%identity"
+
+(* [build] gives the left subtree floor(s/2) of the s elements, so every
+   subtree's height is the bit length of its size. *)
+let rec height_of_size s = if s = 0 then 0 else 1 + height_of_size (s lsr 1)
+
+let rec build a lo hi =
+  if lo >= hi then Empty
+  else
+    let mid = (lo + hi) lsr 1 in
+    Node
+      {
+        l = build a lo mid;
+        v = Array.unsafe_get a mid;
+        r = build a (mid + 1) hi;
+        h = height_of_size (hi - lo);
+      }
+
+let of_increasing a ~len =
+  if len < 0 || len > Array.length a then invalid_arg "Nodeset.of_increasing: len out of range";
+  for i = 1 to len - 1 do
+    if a.(i - 1) >= a.(i) then invalid_arg "Nodeset.of_increasing: not strictly increasing"
+  done;
+  of_repr (build a 0 len)
+
 let of_indicator a =
-  let s = ref empty in
-  Array.iteri (fun i v -> if v then s := add i !s) a;
-  !s
+  let c = ref 0 in
+  Array.iter (fun v -> if v then incr c) a;
+  let buf = Array.make (max !c 1) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v then begin
+        buf.(!k) <- i;
+        incr k
+      end)
+    a;
+  of_repr (build buf 0 !c)
 
 let to_indicator ~n s =
   let a = Array.make n false in

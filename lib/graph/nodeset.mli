@@ -8,6 +8,15 @@ include Set.S with type elt = int
 val of_indicator : bool array -> t
 (** [of_indicator a] is the set of indices [i] with [a.(i) = true]. *)
 
+val of_increasing : int array -> len:int -> t
+(** [of_increasing a ~len] is the set of [a.(0)], ..., [a.(len - 1)],
+    which must be strictly increasing.  O(len), building exactly one
+    tree node per element — the allocation-lean constructor the
+    broadcast engine uses for forward-node sets ({!of_list} re-sorts
+    even sorted input).
+    @raise Invalid_argument if [len] is negative, exceeds the array
+    length, or the prefix is not strictly increasing. *)
+
 val to_indicator : n:int -> t -> bool array
 (** [to_indicator ~n s] is the [n]-slot indicator array of [s].
     @raise Invalid_argument if an element is outside [\[0, n)]. *)

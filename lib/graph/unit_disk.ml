@@ -2,73 +2,57 @@ module Point = Manet_geom.Point
 module Grid = Manet_geom.Grid
 
 (* Hot path: every topology sample builds one of these, so edges go
-   through a flat int buffer and straight into adjacency rows — no
-   per-edge tuples, no per-node sorted lists. *)
+   through one packed half-edge buffer and straight into the CSR arrays
+   via [Graph.of_half_edges] — no per-edge tuples, no per-row arrays.
+   All three builders share the buffer discipline. *)
+type edge_buf = { mutable buf : int array; mutable len : int }
+
+let buf_create () = { buf = Array.make 4096 0; len = 0 }
+
+let buf_push eb i j =
+  if eb.len + 2 > Array.length eb.buf then begin
+    let b = Array.make (2 * Array.length eb.buf) 0 in
+    Array.blit eb.buf 0 b 0 eb.len;
+    eb.buf <- b
+  end;
+  eb.buf.(eb.len) <- i;
+  eb.buf.(eb.len + 1) <- j;
+  eb.len <- eb.len + 2
+
+let buf_graph ~n eb = Graph.of_half_edges ~n ~len:eb.len eb.buf
+
 let build ~radius points =
   if radius <= 0. then invalid_arg "Unit_disk.build: radius must be positive";
   let n = Array.length points in
   let grid = Grid.make ~cell_size:radius points in
-  (* Half-edges (i, j) with i < j, packed pairwise into a growable buffer. *)
-  let buf = ref (Array.make 4096 0) in
-  let len = ref 0 in
+  let eb = buf_create () in
   Array.iteri
-    (fun i p ->
-      Grid.iter_within grid ~center:p ~radius (fun j ->
-          if j > i then begin
-            if !len + 2 > Array.length !buf then begin
-              let b = Array.make (2 * Array.length !buf) 0 in
-              Array.blit !buf 0 b 0 !len;
-              buf := b
-            end;
-            !buf.(!len) <- i;
-            !buf.(!len + 1) <- j;
-            len := !len + 2
-          end))
+    (fun i p -> Grid.iter_within grid ~center:p ~radius (fun j -> if j > i then buf_push eb i j))
     points;
-  let buf = !buf and len = !len in
-  let deg = Array.make n 0 in
-  let k = ref 0 in
-  while !k < len do
-    deg.(buf.(!k)) <- deg.(buf.(!k)) + 1;
-    deg.(buf.(!k + 1)) <- deg.(buf.(!k + 1)) + 1;
-    k := !k + 2
-  done;
-  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
-  let fill = Array.make n 0 in
-  let k = ref 0 in
-  while !k < len do
-    let i = buf.(!k) and j = buf.(!k + 1) in
-    adj.(i).(fill.(i)) <- j;
-    fill.(i) <- fill.(i) + 1;
-    adj.(j).(fill.(j)) <- i;
-    fill.(j) <- fill.(j) + 1;
-    k := !k + 2
-  done;
-  Graph.of_adjacency adj
+  buf_graph ~n eb
 
 let build_brute_force ~radius points =
   if radius <= 0. then invalid_arg "Unit_disk.build_brute_force: radius must be positive";
   let n = Array.length points in
   let r2 = radius *. radius in
-  let edges = ref [] in
+  let eb = buf_create () in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if Point.dist_sq points.(i) points.(j) < r2 then edges := (i, j) :: !edges
+      if Point.dist_sq points.(i) points.(j) < r2 then buf_push eb i j
     done
   done;
-  Graph.of_edges ~n !edges
+  buf_graph ~n eb
 
 let build_toroidal ~radius ~width ~height points =
   if radius <= 0. then invalid_arg "Unit_disk.build_toroidal: radius must be positive";
   let n = Array.length points in
-  let edges = ref [] in
+  let eb = buf_create () in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if Point.dist_toroidal ~width ~height points.(i) points.(j) < radius then
-        edges := (i, j) :: !edges
+      if Point.dist_toroidal ~width ~height points.(i) points.(j) < radius then buf_push eb i j
     done
   done;
-  Graph.of_edges ~n !edges
+  buf_graph ~n eb
 
 let expected_degree ~n ~radius ~width ~height =
   float_of_int (n - 1) *. Float.pi *. radius *. radius /. (width *. height)

@@ -32,10 +32,8 @@ module Run (P : PROTOCOL) = struct
       if !rounds > max_rounds then failwith "Rounds.run: protocol did not quiesce";
       (* Deliver: receiver processes senders in increasing id order. *)
       for receiver = 0 to n - 1 do
-        Array.iter
-          (fun sender ->
+        Graph.iter_neighbors g receiver (fun sender ->
             List.iter (fun m -> P.on_message states.(receiver) ~from:sender m) outbox.(sender))
-          (Graph.neighbors g receiver)
       done;
       let next = Array.init n (fun v -> P.on_round_end states.(v)) in
       Array.blit next 0 outbox 0 n;

@@ -15,13 +15,56 @@ let sample rng spec =
   let radius = Spec.radius spec in
   { points; graph = Unit_disk.build ~radius points; radius; attempts = 1 }
 
-let sample_connected ?(max_attempts = 10_000) rng spec =
+(* Refills an existing placement in place, consuming the generator in
+   exactly the order of [place_uniform] (ascending index, x before y) —
+   the rejection loop below is bit-compatible with drawing a fresh
+   array per attempt. *)
+let refill_uniform rng (spec : Spec.t) points =
+  for i = 0 to Array.length points - 1 do
+    points.(i) <- Point.make ~x:(Rng.float rng spec.width) ~y:(Rng.float rng spec.height)
+  done
+
+let sample_connected ?(max_attempts = 10_000) rng (spec : Spec.t) =
+  let radius = Spec.radius spec in
+  (* One point buffer for the whole rejection loop, refilled in place on
+     a reject, and one BFS scratch shared across attempts.  The
+     connectivity test is a single traversal from node 0 that stops as
+     soon as every node has been reached. *)
+  let points = place_uniform rng spec in
+  let n = spec.n in
+  let seen = Array.make (max n 1) 0 in
+  let queue = Array.make (max n 1) 0 in
+  let gen = ref 0 in
+  let connected g =
+    n <= 1
+    ||
+    let off, nbr = Graph.csr g in
+    incr gen;
+    let tick = !gen in
+    seen.(0) <- tick;
+    queue.(0) <- 0;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail && !tail < n do
+      let u = queue.(!head) in
+      incr head;
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = Array.unsafe_get nbr i in
+        if Array.unsafe_get seen v <> tick then begin
+          Array.unsafe_set seen v tick;
+          queue.(!tail) <- v;
+          incr tail
+        end
+      done
+    done;
+    !tail = n
+  in
   let rec draw attempts =
     if attempts > max_attempts then
       failwith
         (Format.asprintf "Generator.sample_connected: no connected topology for %a in %d attempts"
            Spec.pp spec max_attempts);
-    let s = sample rng spec in
-    if Connectivity.is_connected s.graph then { s with attempts } else draw (attempts + 1)
+    if attempts > 1 then refill_uniform rng spec points;
+    let graph = Unit_disk.build ~radius points in
+    if connected graph then { points; graph; radius; attempts } else draw (attempts + 1)
   in
   draw 1

@@ -54,6 +54,8 @@ let create ?(pause_time = 0.) ~model ~speed_min ~speed_max ~rng ~spec points =
   t
 
 let positions t = Array.copy t.pos
+let unsafe_positions t = t.pos
+let iter_positions t f = Array.iter f t.pos
 
 (* Advance node [i] by [dt], possibly consuming several legs (arrive,
    pause, re-target) within the interval. *)
@@ -97,4 +99,4 @@ let step t ~dt =
   if dt < 0. then invalid_arg "Mobility.step: negative dt";
   Array.iteri (fun i _ -> advance t i dt) t.pos
 
-let graph t ~radius = Manet_graph.Unit_disk.build ~radius t.pos
+let graph t ~radius = Manet_graph.Unit_disk.build ~radius (unsafe_positions t)

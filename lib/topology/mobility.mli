@@ -31,6 +31,15 @@ val create :
 val positions : t -> Manet_geom.Point.t array
 (** Current positions (a defensive copy). *)
 
+val unsafe_positions : t -> Manet_geom.Point.t array
+(** The live internal position array — no copy.  Read-only: mutating it
+    corrupts the walk, and {!step} updates it in place, so the contents
+    are only valid until the next step.  This is the per-step hot-path
+    accessor behind {!graph}. *)
+
+val iter_positions : t -> (Manet_geom.Point.t -> unit) -> unit
+(** Iterate the current positions in node order without copying. *)
+
 val step : t -> dt:float -> unit
 (** Advance every node by [dt] time units, handling waypoint arrivals,
     pauses and boundary reflections inside the interval. *)

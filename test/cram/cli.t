@@ -109,8 +109,8 @@ catalog on seeded random topologies; runs are deterministic in the
 seed:
 
   $ manet check --seed 42 --cases 25
-  check: seed=42 cases=25 protocols=19 oracles=8
-  OK: 25 cases, 1788 checks passed, 662 skipped
+  check: seed=42 cases=25 protocols=19 oracles=9
+  OK: 25 cases, 2263 checks passed, 662 skipped
 
   $ manet check --list
   coverage               structural    2.5/3-hop coverage sets match a BFS reference; connector tables are real paths; the CH_HOP cache agrees with per-head recomputation
@@ -121,12 +121,13 @@ seed:
   delivery               per-protocol  a perfect-mode broadcast delivers to every node (guaranteed protocols) and is self-consistent for the rest
   determinism            per-protocol  equal generator states give bit-identical results and timelines
   loss-sanity            per-protocol  a lossy broadcast stays self-consistent with a delivery ratio in [0, 1]
+  arena-reuse            per-protocol  broadcasts are bit-identical on a fresh, the domain's, and a dirty reused engine arena, under perfect and lossy engines
 
 A deliberately broken gateway selection (the harness's own mutant) is
 caught and shrunk to a minimal reproducer:
 
   $ manet check --seed 42 --cases 50 --proto static-2.5hop!drop-coverage --output repro.ml
-  check: seed=42 cases=50 protocols=1 oracles=8
+  check: seed=42 cases=50 protocols=1 oracles=9
   FAIL oracle=backbone-connectivity proto=static-2.5hop!drop-coverage case 1 (udg, seed 42): n=42 m=85 source=31
     static-2.5hop!drop-coverage: backbone {0, 1, 2, 3, 4, 5, 6, 7, 10, 12, 13, 15, 16, 17, 18, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 33, 36, 37, 40} induces a disconnected subgraph
     shrunk to n=3 m=2 source=2 (41 shrink checks)

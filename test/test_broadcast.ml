@@ -337,6 +337,54 @@ let test_reliable_timeout_reported () =
   Alcotest.(check bool) "incomplete" false o.complete;
   Alcotest.(check int) "hit the cap" 10 o.rounds
 
+(* Arena mechanics at the engine level: one arena serving graphs of
+   different sizes back and forth, and re-entrant runs from inside a
+   decide callback falling back safely. *)
+
+let result_t = Alcotest.testable Result.pp (fun (a : Result.t) b ->
+    a.source = b.source
+    && Nodeset.equal a.forwarders b.forwarders
+    && a.delivered = b.delivered
+    && a.completion_time = b.completion_time)
+
+let flood_decide ~node:_ ~from:_ ~payload:() = Some ()
+
+let test_arena_across_sizes () =
+  let arena = Engine.Arena.create () in
+  let graphs = [ udg ~seed:7 ~n:60 ~d:6.; udg ~seed:8 ~n:9 ~d:4.; udg ~seed:9 ~n:120 ~d:10. ] in
+  (* Interleave sizes twice so the second pass hits a shrunken-then-grown
+     arena with stale generations everywhere. *)
+  List.iter
+    (fun _ ->
+      List.iter
+        (fun (s : Manet_topology.Generator.sample) ->
+          let fresh = Engine.run_core s.graph ~source:0 ~initial:() ~decide:flood_decide in
+          let reused = Engine.run_core ~arena s.graph ~source:0 ~initial:() ~decide:flood_decide in
+          Alcotest.check result_t "result matches fresh run" (fst fresh) (fst reused);
+          Alcotest.(check (list (pair int int))) "timeline matches" (snd fresh) (snd reused))
+        graphs)
+    [ (); () ]
+
+let test_arena_reentrant () =
+  let arena = Engine.Arena.create () in
+  let outer = udg ~seed:12 ~n:30 ~d:6. in
+  let inner = Graph.star 5 in
+  (* Every outer decide runs a nested broadcast on the same arena: the
+     nested run must fall back to private scratch and leave the outer
+     run's state untouched. *)
+  let nested_results = ref [] in
+  let decide ~node:_ ~from:_ ~payload:() =
+    let r, _ = Engine.run_core ~arena inner ~source:0 ~initial:() ~decide:flood_decide in
+    nested_results := r :: !nested_results;
+    Some ()
+  in
+  let with_nesting = Engine.run_core ~arena outer.graph ~source:0 ~initial:() ~decide in
+  let plain = Engine.run_core outer.graph ~source:0 ~initial:() ~decide:flood_decide in
+  Alcotest.check result_t "outer run unaffected by nesting" (fst plain) (fst with_nesting);
+  let reference = Engine.run inner ~source:0 ~initial:() ~decide:flood_decide in
+  List.iter (Alcotest.check result_t "nested run correct" reference) !nested_results;
+  Alcotest.(check bool) "nesting actually happened" true (!nested_results <> [])
+
 let () =
   Alcotest.run "broadcast"
     [
@@ -350,6 +398,8 @@ let () =
           Alcotest.test_case "deterministic tie-break" `Quick test_first_copy_smallest_sender;
           Alcotest.test_case "source out of range" `Quick test_source_out_of_range;
           Alcotest.test_case "single node" `Quick test_single_node_graph;
+          Alcotest.test_case "arena reuse across sizes" `Quick test_arena_across_sizes;
+          Alcotest.test_case "arena reentrancy" `Quick test_arena_reentrant;
         ] );
       ( "lossy",
         [

@@ -317,6 +317,113 @@ let prop_toroidal_supergraph =
       in
       List.for_all (fun (u, v) -> Graph.mem_edge t u v) (Graph.edges s.graph))
 
+(* CSR equivalence: the flat representation against a naive sorted-list
+   reference, over random edge lists (duplicates in both orientations)
+   and adversarial shapes, through every construction path. *)
+
+let reference_adjacency ~n edges =
+  let rows = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      rows.(u) <- v :: rows.(u);
+      rows.(v) <- u :: rows.(v))
+    edges;
+  Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) rows
+
+let random_edges rng ~n ~count =
+  List.filter
+    (fun (u, v) -> u <> v)
+    (List.init count (fun _ -> (Manet_rng.Rng.int rng n, Manet_rng.Rng.int rng n)))
+
+let prop_csr_matches_reference =
+  qtest "of_edges = sorted-list reference" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Manet_rng.Rng.create ~seed in
+      (* Duplicates on purpose: both orientations and repeats collapse. *)
+      let edges = random_edges rng ~n ~count:(2 * n) in
+      let edges = edges @ List.map (fun (u, v) -> (v, u)) edges in
+      let g = Graph.of_edges ~n edges in
+      let reference = reference_adjacency ~n edges in
+      let m_ref = Array.fold_left (fun acc r -> acc + Array.length r) 0 reference / 2 in
+      let off, nbr = Graph.csr g in
+      Graph.n g = n
+      && Graph.m g = m_ref
+      && off.(0) = 0
+      && off.(n) = Array.length nbr
+      && Array.for_all (fun v -> reference.(v) = Graph.neighbors g v) (Array.init n Fun.id)
+      && Array.for_all
+           (fun v ->
+             Graph.degree g v = Array.length reference.(v)
+             && Graph.fold_neighbors g v (fun acc _ -> acc + 1) 0 = Array.length reference.(v)
+             && Array.sub nbr off.(v) (off.(v + 1) - off.(v)) = reference.(v))
+           (Array.init n Fun.id)
+      && List.for_all
+           (fun (u, v) -> Graph.mem_edge g u v && Graph.mem_edge g v u)
+           edges)
+
+let prop_construction_paths_agree =
+  qtest "of_edges = of_adjacency = of_half_edges" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Manet_rng.Rng.create ~seed in
+      let edges = List.sort_uniq compare (random_edges rng ~n ~count:(2 * n)) in
+      (* Keep one orientation per undirected edge for the half-edge path. *)
+      let edges = List.filter (fun (u, v) -> u < v) edges in
+      let g_edges = Graph.of_edges ~n edges in
+      let g_adj = Graph.of_adjacency (reference_adjacency ~n edges) in
+      let buf = Array.make (2 * List.length edges) 0 in
+      List.iteri
+        (fun k (u, v) ->
+          (* Alternate orientations: of_half_edges accepts either. *)
+          let u, v = if k land 1 = 0 then (u, v) else (v, u) in
+          buf.(2 * k) <- u;
+          buf.((2 * k) + 1) <- v)
+        edges;
+      let g_half = Graph.of_half_edges ~n ~len:(2 * List.length edges) buf in
+      Graph.equal g_edges g_adj && Graph.equal g_edges g_half
+      && Graph.edges g_edges = Graph.edges g_half)
+
+let test_csr_adversarial () =
+  let check_equal name a b = Alcotest.(check bool) name true (Graph.equal a b) in
+  (* Empty graphs, isolated nodes, stars, complete graphs: the shapes
+     whose rows are degenerate (all-empty, one huge, all-equal). *)
+  check_equal "n=0" (Graph.of_edges ~n:0 []) (Graph.of_half_edges ~n:0 ~len:0 [||]);
+  check_equal "n=1" (Graph.of_edges ~n:1 []) (Graph.of_adjacency [| [||] |]);
+  check_equal "isolated nodes" (Graph.empty 5) (Graph.of_half_edges ~n:5 ~len:0 (Array.make 8 0));
+  let star_buf = Array.concat (List.init 6 (fun i -> [| i + 1; 0 |])) in
+  check_equal "star, reversed orientations" (Graph.star 7) (Graph.of_half_edges ~n:7 ~len:12 star_buf);
+  let k5 = Graph.complete 5 in
+  let buf = Array.make 20 0 in
+  let k = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      buf.(!k) <- u;
+      buf.(!k + 1) <- v;
+      k := !k + 2)
+    (Graph.edges k5);
+  check_equal "complete" k5 (Graph.of_half_edges ~n:5 ~len:20 buf);
+  (* Slack beyond len is ignored. *)
+  check_equal "slack ignored" (Graph.path 3) (Graph.of_half_edges ~n:3 ~len:4 [| 0; 1; 1; 2; 9; 9 |])
+
+let test_of_half_edges_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_half_edges: self-loop")
+    (fun () -> ignore (Graph.of_half_edges ~n:3 ~len:2 [| 1; 1 |]));
+  Alcotest.check_raises "range" (Invalid_argument "Graph.of_half_edges: endpoint out of range")
+    (fun () -> ignore (Graph.of_half_edges ~n:2 ~len:2 [| 0; 2 |]));
+  Alcotest.check_raises "odd length" (Invalid_argument "Graph.of_half_edges: bad buffer length")
+    (fun () -> ignore (Graph.of_half_edges ~n:2 ~len:1 [| 0; 1 |]));
+  Alcotest.check_raises "length over buffer"
+    (Invalid_argument "Graph.of_half_edges: bad buffer length") (fun () ->
+      ignore (Graph.of_half_edges ~n:2 ~len:4 [| 0; 1 |]))
+
+let test_neighbors_is_a_copy () =
+  let g = Graph.path 3 in
+  let row = Graph.neighbors g 1 in
+  row.(0) <- 99;
+  Alcotest.(check (array int)) "internal storage unaffected" [| 0; 2 |] (Graph.neighbors g 1);
+  Alcotest.(check bool) "membership unaffected" true (Graph.mem_edge g 1 0)
+
 let test_radius_for_degree_roundtrip () =
   let r = Unit_disk.radius_for_degree ~n:100 ~degree:6. ~width:100. ~height:100. in
   let d = Unit_disk.expected_degree ~n:100 ~radius:r ~width:100. ~height:100. in
@@ -371,6 +478,35 @@ let test_nodeset_helpers () =
     (Invalid_argument "Nodeset.to_indicator: element out of range") (fun () ->
       ignore (Nodeset.to_indicator ~n:1 s))
 
+let test_nodeset_of_increasing () =
+  (* Parity with the stdlib constructors, including under subsequent
+     mutation — this guards the direct balanced build against stdlib
+     representation drift. *)
+  for len = 0 to 64 do
+    let a = Array.init len (fun i -> (3 * i) + 1) in
+    let built = Nodeset.of_increasing a ~len in
+    let reference = Nodeset.of_list (Array.to_list a) in
+    Alcotest.check nodeset (Printf.sprintf "len %d" len) reference built;
+    Alcotest.(check (list int))
+      (Printf.sprintf "len %d elements" len)
+      (Array.to_list a) (Nodeset.elements built);
+    let b2 = Nodeset.add (3 * len) (Nodeset.remove 1 built) in
+    let r2 = Nodeset.add (3 * len) (Nodeset.remove 1 reference) in
+    Alcotest.check nodeset (Printf.sprintf "len %d after add/remove" len) r2 b2
+  done;
+  let built = Nodeset.of_increasing (Array.init 100 (fun i -> 2 * i)) ~len:100 in
+  let odd = Nodeset.of_list (List.init 100 (fun i -> (2 * i) + 1)) in
+  Alcotest.(check int) "union" 200 (Nodeset.cardinal (Nodeset.union built odd));
+  Alcotest.(check int) "inter" 0 (Nodeset.cardinal (Nodeset.inter built odd));
+  Alcotest.check nodeset "slack beyond len ignored" (set_of_list [ 5; 9 ])
+    (Nodeset.of_increasing [| 5; 9; 0; 0 |] ~len:2);
+  Alcotest.check_raises "not increasing"
+    (Invalid_argument "Nodeset.of_increasing: not strictly increasing") (fun () ->
+      ignore (Nodeset.of_increasing [| 1; 1 |] ~len:2));
+  Alcotest.check_raises "len out of range"
+    (Invalid_argument "Nodeset.of_increasing: len out of range") (fun () ->
+      ignore (Nodeset.of_increasing [| 1 |] ~len:2))
+
 let () =
   Alcotest.run "graph"
     [
@@ -388,6 +524,7 @@ let () =
           Alcotest.test_case "induced subgraph" `Quick test_induced;
           Alcotest.test_case "structural equality" `Quick test_equal;
           Alcotest.test_case "nodeset helpers" `Quick test_nodeset_helpers;
+          Alcotest.test_case "nodeset of_increasing" `Quick test_nodeset_of_increasing;
         ] );
       ( "bfs",
         [
@@ -431,6 +568,14 @@ let () =
           Alcotest.test_case "toroidal wrap" `Quick test_unit_disk_toroidal;
           prop_toroidal_supergraph;
           Alcotest.test_case "radius/degree roundtrip" `Quick test_radius_for_degree_roundtrip;
+        ] );
+      ( "csr",
+        [
+          prop_csr_matches_reference;
+          prop_construction_paths_agree;
+          Alcotest.test_case "adversarial shapes" `Quick test_csr_adversarial;
+          Alcotest.test_case "of_half_edges validation" `Quick test_of_half_edges_validation;
+          Alcotest.test_case "neighbors returns a copy" `Quick test_neighbors_is_a_copy;
         ] );
       ( "export",
         [

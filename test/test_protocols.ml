@@ -248,6 +248,62 @@ let test_delivery_ratio_bounds () =
         (ratio >= 0. && ratio <= 1.))
     Registry.all
 
+(* Arena determinism: for every registered protocol, broadcasts are
+   bit-identical whether the engine scratch is a fresh arena, the
+   domain's shared arena, or an arena deliberately dirtied by unrelated
+   runs — under the perfect and the lossy engine.  This is the
+   acceptance property of the arena layer: reuse must be unobservable. *)
+
+module Engine = Manet_broadcast.Engine
+
+let run_with_arena p (sample : Manet_topology.Generator.sample) ~arena ~mode =
+  let env =
+    Protocol.make_env ~rng:(Rng.create ~seed:77) ?arena sample.Manet_topology.Generator.graph
+  in
+  let built = p.Protocol.prepare env in
+  built.Protocol.run ~source:0 ~mode
+
+let dirty_arena (sample : Manet_topology.Generator.sample) =
+  let a = Engine.Arena.create () in
+  (* Pollute with broadcasts of a different payload type and a different
+     graph size, so stale tags, heap slots and trace lengths are all
+     exercised. *)
+  ignore
+    (Engine.run_core ~arena:a (Graph.path 3) ~source:2 ~initial:[ 1; 2; 3 ]
+       ~decide:(fun ~node:_ ~from:_ ~payload -> Some payload));
+  ignore
+    (Engine.run_core ~arena:a sample.Manet_topology.Generator.graph ~source:1 ~initial:()
+       ~decide:(fun ~node:_ ~from:_ ~payload:() -> Some ()));
+  a
+
+let arena_tests =
+  let samples = udg_cases ~seed:31 ~count:2 ~n:45 ~d:8. in
+  List.map
+    (fun p ->
+      Alcotest.test_case (p.Protocol.name ^ " arena-independent") `Quick (fun () ->
+          List.iter
+            (fun sample ->
+              List.iter
+                (fun mode ->
+                  let r_fresh, t_fresh =
+                    run_with_arena p sample ~arena:(Some (Engine.Arena.create ())) ~mode
+                  in
+                  let r_domain, t_domain = run_with_arena p sample ~arena:None ~mode in
+                  let r_dirty, t_dirty =
+                    run_with_arena p sample ~arena:(Some (dirty_arena sample)) ~mode
+                  in
+                  (* And once more on the now-dirty domain arena: steady-state reuse. *)
+                  let r_again, t_again = run_with_arena p sample ~arena:None ~mode in
+                  Alcotest.check result "fresh = domain arena" r_fresh r_domain;
+                  Alcotest.check result "fresh = dirty arena" r_fresh r_dirty;
+                  Alcotest.check result "fresh = reused domain arena" r_fresh r_again;
+                  Alcotest.(check (list (pair int int))) "timeline: fresh = domain" t_fresh t_domain;
+                  Alcotest.(check (list (pair int int))) "timeline: fresh = dirty" t_fresh t_dirty;
+                  Alcotest.(check (list (pair int int))) "timeline: fresh = reused" t_fresh t_again)
+                [ Protocol.Perfect; Protocol.Lossy 0.3 ])
+            samples))
+    Registry.all
+
 let () =
   Alcotest.run "protocols"
     [
@@ -262,6 +318,7 @@ let () =
             test_equivalence_covers_registry;
         ] );
       ("equivalence", equivalence_tests);
+      ("arena", arena_tests);
       ("timelines", timeline_tests);
       ("loss", lossless_tests @ [
           Alcotest.test_case "delivery_ratio generalizes flooding_delivery" `Quick
