@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --csv out/ fig6   # also write CSVs *)
 
 module Figures = Manet_experiment.Figures
+module Scenario = Manet_experiment.Scenario
+module Runner = Manet_experiment.Runner
 module Render = Manet_experiment.Render
 module Coverage = Manet_coverage.Coverage
 
@@ -29,9 +31,7 @@ let write_json ~dir ~name rows =
   close_out oc;
   Printf.printf "  [json] %s\n%!" path
 
-let config () =
-  let c = if !quick then Figures.quick else Figures.default in
-  { c with Figures.domains = !domains }
+let config () = if !quick then Figures.quick else Figures.default
 
 let maybe_csv name table =
   match !csv_dir with
@@ -44,57 +44,47 @@ let maybe_csv name table =
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
-let per_degree name title make =
+(* The sweep-shaped figures are builtin scenarios executed through the
+   Runner; the historical per-file CSV names (underscores, one file per
+   degree) are preserved. *)
+let run_builtin title name =
   section title;
-  List.iter
-    (fun d ->
-      let t = make ~d () in
-      print_string (Render.to_text ~title:name t);
-      maybe_csv (Printf.sprintf "%s_d%g" name d) t)
-    [ 6.; 18. ]
+  let s = Figures.builtin_exn name in
+  let s = if !quick then Scenario.quicken s else s in
+  let s = { s with Scenario.domains = !domains } in
+  let base = String.map (fun c -> if c = '-' then '_' else c) name in
+  let degrees = s.Scenario.topology.Scenario.degrees in
+  List.iter2
+    (fun d t ->
+      print_string (Render.to_text ~title:base t);
+      maybe_csv (if List.length degrees = 1 then base else Printf.sprintf "%s_d%g" base d) t)
+    degrees (Runner.run s)
 
-let fig6 () =
-  per_degree "fig6" "Figure 6: average CDS size (static backbone vs MO_CDS)"
-    (Figures.fig6 ~config:(config ()))
+let fig6 () = run_builtin "Figure 6: average CDS size (static backbone vs MO_CDS)" "fig6"
 
 let fig7 () =
-  per_degree "fig7"
-    "Figure 7: average forward-node-set size (dynamic backbone vs MO_CDS)"
-    (Figures.fig7 ~config:(config ()))
+  run_builtin "Figure 7: average forward-node-set size (dynamic backbone vs MO_CDS)" "fig7"
 
-let fig8 () =
-  per_degree "fig8" "Figure 8: forward-node-set size (static vs dynamic backbone)"
-    (Figures.fig8 ~config:(config ()))
+let fig8 () = run_builtin "Figure 8: forward-node-set size (static vs dynamic backbone)" "fig8"
 
 let ext_baselines () =
-  per_degree "ext_baselines" "Extension: forward counts across baseline protocols"
-    (Figures.ext_baselines ~config:(config ()))
+  run_builtin "Extension: forward counts across baseline protocols" "ext-baselines"
 
-let ext_si_cds () =
-  per_degree "ext_si_cds" "Extension: CDS sizes across SI algorithms"
-    (Figures.ext_si_cds ~config:(config ()))
+let ext_si_cds () = run_builtin "Extension: CDS sizes across SI algorithms" "ext-si-cds"
 
 let ext_clustering () =
-  per_degree "ext_clustering" "Ablation: lowest-ID vs highest-connectivity clustering"
-    (Figures.ext_clustering ~config:(config ()))
+  run_builtin "Ablation: lowest-ID vs highest-connectivity clustering" "ext-clustering"
 
 let ext_pruning () =
-  per_degree "ext_pruning" "Ablation: dynamic backbone pruning levels (2.5-hop)"
-    (Figures.ext_pruning ~config:(config ()))
+  run_builtin "Ablation: dynamic backbone pruning levels (2.5-hop)" "ext-pruning"
 
 let ext_approx () =
-  section "Extension: approximation ratios vs exact MCDS (d = 6, small n)";
-  let t = Figures.ext_approx ~config:(config ()) () in
-  print_string (Render.to_text ~title:"ext_approx" t);
-  maybe_csv "ext_approx" t
+  run_builtin "Extension: approximation ratios vs exact MCDS (d = 6, small n)" "ext-approx"
 
 let ext_msgs () =
-  per_degree "ext_msgs" "Extension: construction message complexity (O(n) check)"
-    (Figures.ext_msgs ~config:(config ()))
+  run_builtin "Extension: construction message complexity (O(n) check)" "ext-msgs"
 
-let ext_delivery () =
-  per_degree "ext_delivery" "Diagnostic: delivery ratios of SD protocols"
-    (Figures.ext_delivery ~config:(config ()))
+let ext_delivery () = run_builtin "Diagnostic: delivery ratios of SD protocols" "ext-delivery"
 
 let ext_lossy () =
   section "Extension: delivery under lossy links";

@@ -342,50 +342,136 @@ let cluster_cmd =
     (Cmd.info "cluster" ~doc:"Cluster a topology and inspect the cluster graph.")
     Term.(const run $ edges_arg $ n_arg $ degree_arg $ seed_arg $ algo_arg)
 
-(* figures *)
+(* run *)
 
-let figures_cmd =
-  let which_arg =
+let run_cmd =
+  let module Scenario = Manet_experiment.Scenario in
+  let module Figures = Manet_experiment.Figures in
+  let module Runner = Manet_experiment.Runner in
+  let module Render = Manet_experiment.Render in
+  let scenario_arg =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
-      & info [] ~docv:"FIGURE" ~doc:"One of: fig6 fig7 fig8 ext-baselines ext-si-cds ext-clustering ext-msgs ext-delivery ext-pruning.")
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "A scenario JSON file, or the name of a builtin figure (see $(b,--list)).  Builtin \
+             names win over file names.")
   in
   let quick_arg =
-    Arg.(value & flag & info [ "quick" ] ~doc:"Few samples, three network sizes (smoke run).")
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Few samples, three network sizes (smoke run; see --list).")
   in
   let domains_arg =
     Arg.(
-      value & opt int 1
+      value
+      & opt (some int) None
       & info [ "domains" ] ~docv:"N"
           ~doc:"Evaluate sweep points on N parallel domains (results identical).")
   in
-  let run which quick domains =
-    let module Figures = Manet_experiment.Figures in
-    let config = if quick then Figures.quick else Figures.default in
-    let config = { config with Figures.domains } in
-    let make =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Stream every evaluated sample chunk to FILE (JSONL).  A killed run restarted with \
+             $(b,--resume) continues from it bit-identically.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Trust the chunks already recorded in $(b,--journal) and evaluate only the missing \
+             ones.  A missing journal file starts a fresh run.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write one CSV and one JSON table per target degree into DIR instead of printing \
+             text tables.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the builtin scenarios and exit.")
+  in
+  let run which quick domains journal resume out list =
+    if list then begin
+      let width =
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 Figures.builtins
+      in
+      List.iter
+        (fun (name, (s : Scenario.t)) -> Printf.printf "%-*s  %s\n" width name s.description)
+        Figures.builtins;
+      `Ok ()
+    end
+    else
       match which with
-      | "fig6" -> Figures.fig6 ~config
-      | "fig7" -> Figures.fig7 ~config
-      | "fig8" -> Figures.fig8 ~config
-      | "ext-baselines" -> Figures.ext_baselines ~config
-      | "ext-si-cds" -> Figures.ext_si_cds ~config
-      | "ext-clustering" -> Figures.ext_clustering ~config
-      | "ext-msgs" -> Figures.ext_msgs ~config
-      | "ext-delivery" -> Figures.ext_delivery ~config
-      | "ext-pruning" -> Figures.ext_pruning ~config
-      | other -> invalid_arg (Printf.sprintf "unknown figure %S" other)
-    in
-    List.iter
-      (fun d ->
-        print_string (Manet_experiment.Render.to_text ~title:which (make ~d ())))
-      [ 6.; 18. ];
-    `Ok ()
+      | None ->
+        `Error (true, "expected a scenario file or builtin name (use --list to see the builtins)")
+      | Some which -> (
+        let load () =
+          match List.assoc_opt which Figures.builtins with
+          | Some s -> Ok s
+          | None ->
+            if Sys.file_exists which then Scenario.of_string (read_file which)
+            else
+              Error
+                (Printf.sprintf
+                   "%s is neither a builtin scenario (see manet run --list) nor a file" which)
+        in
+        match load () with
+        | Error m -> `Error (false, m)
+        | Ok scenario -> (
+          let scenario = if quick then Scenario.quicken scenario else scenario in
+          let scenario =
+            match domains with None -> scenario | Some d -> { scenario with Scenario.domains = d }
+          in
+          if resume && journal = None then `Error (true, "--resume requires --journal FILE")
+          else
+            let progress (p : Runner.progress) =
+              Printf.eprintf "[%d/%d] n=%d d=%g: %d samples\n%!" p.points_done p.points_total
+                p.point.Manet_experiment.Sweep.n p.point.Manet_experiment.Sweep.d
+                p.point.Manet_experiment.Sweep.samples
+            in
+            match Runner.run ?journal ~resume ~progress scenario with
+            | exception (Failure m | Invalid_argument m) -> `Error (false, m)
+            | tables ->
+              let degrees = scenario.Scenario.topology.Scenario.degrees in
+              List.iter2
+                (fun d table ->
+                  match out with
+                  | None ->
+                    print_string (Render.to_text ~title:scenario.Scenario.name table)
+                  | Some dir ->
+                    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                    let base =
+                      if List.length degrees = 1 then scenario.Scenario.name
+                      else Printf.sprintf "%s_d%g" scenario.Scenario.name d
+                    in
+                    let csv = Filename.concat dir (base ^ ".csv") in
+                    let json = Filename.concat dir (base ^ ".json") in
+                    Render.write_csv ~path:csv table;
+                    Render.write_json ~path:json table;
+                    Printf.printf "wrote %s\n" csv;
+                    Printf.printf "wrote %s\n" json)
+                degrees tables;
+              `Ok ()))
   in
   Cmd.v
-    (Cmd.info "figures" ~doc:"Regenerate a figure of the paper (see also bench/main.exe).")
-    Term.(ret (const run $ which_arg $ quick_arg $ domains_arg))
+    (Cmd.info "run"
+       ~doc:
+         "Run an experiment scenario: a builtin figure by name, or any scenario JSON file.  With \
+          $(b,--journal) the run streams its results and can be killed and resumed \
+          bit-identically with $(b,--resume).")
+    Term.(
+      ret
+        (const run $ scenario_arg $ quick_arg $ domains_arg $ journal_arg $ resume_arg
+       $ out_dir_arg $ list_arg))
 
 let () =
   let info =
@@ -402,5 +488,5 @@ let () =
             broadcast_cmd;
             protocols_cmd;
             check_cmd;
-            figures_cmd;
+            run_cmd;
           ]))

@@ -1,4 +1,4 @@
-(* The broadcast storm problem, measured.
+(* The broadcast storm problem, measured — declaratively.
 
    Section 1 of the paper: "When the size of the network increases and
    the network becomes dense, even a simple broadcast operation may
@@ -10,46 +10,57 @@
    paper's backbones.  Flooding stays at 100%; the backbones shrink as
    density grows — the denser the network, the more a backbone helps.
 
+   The whole experiment is one Scenario value: the printed JSON is a
+   ready-made `manet run` input — copy it to a file, edit the grids or
+   the protocol names, and rerun without touching OCaml.
+
    Run with:  dune exec examples/density_sweep.exe *)
 
-module Rng = Manet_rng.Rng
-module Spec = Manet_topology.Spec
-module Generator = Manet_topology.Generator
-module Coverage = Manet_coverage.Coverage
-module Static = Manet_backbone.Static_backbone
-module Dynamic = Manet_backbone.Dynamic_backbone
+module Scenario = Manet_experiment.Scenario
+module Runner = Manet_experiment.Runner
+module Sweep = Manet_experiment.Sweep
 module Summary = Manet_stats.Summary
-module Result = Manet_broadcast.Result
+
+let n = 100
+
+let samples = 25
+
+let scenario =
+  Scenario.make ~name:"density-sweep"
+    ~description:"forwarding fraction vs density: flooding pays the storm, backbones convert it"
+    ~seed:1000 ~ns:[ n ]
+    ~degrees:[ 6.; 9.; 12.; 18.; 24.; 32. ]
+    ~stopping:{ Scenario.min_samples = samples; max_samples = samples; rel_precision = 0.05 }
+    [
+      Scenario.Forwards { protocol = "flooding"; name = None; loss = None };
+      Scenario.Forwards { protocol = "static-2.5hop"; name = None; loss = None };
+      Scenario.Forwards { protocol = "dynamic-2.5hop"; name = None; loss = None };
+      Scenario.Cluster_count { clustering = Scenario.Lowest_id };
+    ]
 
 let () =
-  let n = 100 in
-  let samples = 25 in
-  Printf.printf "n = %d, %d topologies per point; values are forwarding nodes (%% of n)\n" n
+  print_string "The scenario (a valid `manet run` input):\n\n";
+  print_string (Scenario.to_string scenario);
+  Printf.printf "\nn = %d, %d topologies per point; values are forwarding nodes (%% of n)\n" n
     samples;
   Printf.printf "%8s %12s %12s %12s %14s\n" "degree" "flooding" "static-2.5" "dynamic-2.5"
     "cluster-heads";
-  List.iter
-    (fun d ->
-      let rng = Rng.create ~seed:(1000 + int_of_float d) in
-      let spec = Spec.make ~n ~avg_degree:d () in
-      let static = Summary.create () in
-      let dynamic = Summary.create () in
-      let heads = Summary.create () in
-      for _ = 1 to samples do
-        let sample = Generator.sample_connected rng spec in
-        let g = sample.graph in
-        let cl = Manet_cluster.Lowest_id.cluster g in
-        let source = Rng.int rng n in
-        let bb = Static.build ~clustering:cl g Coverage.Hop25 in
-        Summary.add static (float_of_int (Result.forward_count (Static.broadcast bb ~source)));
-        Summary.add dynamic
-          (float_of_int (Result.forward_count (Dynamic.broadcast g cl Coverage.Hop25 ~source)));
-        Summary.add heads (float_of_int (Manet_cluster.Clustering.num_clusters cl))
-      done;
-      let pct s = 100. *. Summary.mean s /. float_of_int n in
-      Printf.printf "%8g %11.0f%% %11.1f%% %11.1f%% %14.1f\n" d 100. (pct static) (pct dynamic)
-        (Summary.mean heads))
-    [ 6.; 9.; 12.; 18.; 24.; 32. ];
+  let tables = Runner.run scenario in
+  List.iter2
+    (fun d (t : Sweep.table) ->
+      let p = List.hd t.points in
+      let mean name =
+        match List.assoc_opt name p.Sweep.cells with
+        | Some (c : Sweep.cell) -> Summary.mean c.summary
+        | None -> invalid_arg name
+      in
+      let pct v = 100. *. v /. float_of_int n in
+      Printf.printf "%8g %11.0f%% %11.1f%% %11.1f%% %14.1f\n" d
+        (pct (mean "flooding"))
+        (pct (mean "static-2.5hop"))
+        (pct (mean "dynamic-2.5hop"))
+        (mean "clusters"))
+    scenario.Scenario.topology.Scenario.degrees tables;
   print_newline ();
   print_endline
     "Reading: flooding always uses every node; the backbones approach the\n\

@@ -1,9 +1,147 @@
 module Rng = Manet_rng.Rng
 module Coverage = Manet_coverage.Coverage
-module Static = Manet_backbone.Static_backbone
 module Summary = Manet_stats.Summary
 module Protocol = Manet_broadcast.Protocol
 module Registry = Manet_protocols.Registry
+
+(* The sweep-shaped figures are data: one Scenario value each, executed
+   by Runner and reachable as `manet run <name>`.  Only the custom-shape
+   experiments further down (whose tables are not Sweep.tables) remain
+   code. *)
+
+let fwd ?name ?loss protocol = Scenario.Forwards { protocol; name; loss }
+
+let deliver ?name ?loss protocol = Scenario.Delivery { protocol; name; loss }
+
+let size ?name ?clustering protocol = Scenario.Structure_size { protocol; name; clustering }
+
+let ratio ?name protocol = Scenario.Mcds_ratio { protocol; name }
+
+let cost field = Scenario.Construction_cost { field; name = None }
+
+let paper_degrees = [ 6.; 18. ]
+
+let builtins =
+  List.map
+    (fun (s : Scenario.t) -> (s.name, s))
+    [
+      Scenario.make ~name:"fig6" ~degrees:paper_degrees
+        ~description:
+          "Figure 6: average CDS size - static backbone (2.5-hop, 3-hop) vs MO_CDS. Expected: \
+           the three curves nearly coincide, static slightly below MO_CDS, 2.5-hop within 2% of \
+           3-hop."
+        [ size "static-2.5hop"; size "static-3hop"; size "mo_cds" ];
+      Scenario.make ~name:"fig7" ~degrees:paper_degrees
+        ~description:
+          "Figure 7: average forward-node-set size per broadcast - dynamic backbone (2.5-hop, \
+           3-hop) vs MO_CDS. Expected: dynamic well below MO_CDS."
+        [ fwd "dynamic-2.5hop"; fwd "dynamic-3hop"; fwd "mo_cds" ];
+      Scenario.make ~name:"fig8" ~degrees:paper_degrees
+        ~description:
+          "Figure 8: forward-node-set size - static vs dynamic backbone (both coverage modes). \
+           Expected: dynamic below static, both modes nearly equal."
+        [ fwd "static-2.5hop"; fwd "static-3hop"; fwd "dynamic-2.5hop"; fwd "dynamic-3hop" ];
+      Scenario.make ~name:"ext-baselines" ~degrees:paper_degrees
+        ~description:
+          "Extension: forward counts of flooding, Wu-Li, DP, PDP, AHBP, MPR, the forwarding \
+           tree, backoff self-pruning, counter-based and passive clustering alongside the \
+           paper's backbones (plus the delivery ratios of the probabilistic schemes, which the \
+           paper singles out as poor)."
+        [
+          fwd "flooding";
+          fwd "wu-li";
+          fwd "dp";
+          fwd "pdp";
+          fwd "ahbp";
+          fwd "mpr";
+          fwd "fwd-tree";
+          fwd "self-pruning";
+          fwd "counter";
+          deliver ~name:"counter-delivery" "counter";
+          fwd "passive";
+          deliver ~name:"passive-delivery" "passive";
+          fwd "static-2.5hop";
+          fwd "dynamic-2.5hop";
+        ];
+      Scenario.make ~name:"ext-si-cds" ~degrees:paper_degrees
+        ~description:
+          "Extension: CDS sizes across the source-independent algorithms - the paper's static \
+           backbone, MO_CDS, Wu-Li, spanning-tree CDS and greedy CDS - with the cluster count \
+           as the common floor."
+        [
+          size "static-2.5hop";
+          size "mo_cds";
+          size "wu-li";
+          size "tree-cds";
+          size "greedy-cds";
+          Scenario.Cluster_count { clustering = Scenario.Lowest_id };
+        ];
+      Scenario.make ~name:"ext-clustering" ~degrees:paper_degrees
+        ~description:
+          "Ablation: backbone size and cluster counts under lowest-ID vs highest-connectivity \
+           clustering."
+        [
+          size "static-2.5hop";
+          size ~name:"static-2.5hop/deg" ~clustering:Scenario.Highest_degree "static-2.5hop";
+          Scenario.Cluster_count { clustering = Scenario.Lowest_id };
+          Scenario.Cluster_count { clustering = Scenario.Highest_degree };
+        ];
+      Scenario.make ~name:"ext-msgs" ~degrees:paper_degrees
+        ~description:
+          "Message complexity: transmissions of each distributed construction stage, and the \
+           total divided by n (flat when the total is O(n))."
+        [
+          cost Scenario.Hello;
+          cost Scenario.Clustering_msgs;
+          cost Scenario.Ch_hop;
+          cost Scenario.Gateway;
+          cost Scenario.Total;
+          cost Scenario.Total_per_hello;
+        ];
+      Scenario.make ~name:"ext-delivery" ~degrees:paper_degrees
+        ~description:
+          "Diagnostic: delivery ratios of the dynamic backbone and the SD baselines (expected \
+           at or near 1.0)."
+        [
+          deliver ~name:"delivery-2.5hop" "dynamic-2.5hop";
+          deliver ~name:"delivery-3hop" "dynamic-3hop";
+          deliver "dp";
+          deliver "pdp";
+          deliver "mpr";
+        ];
+      Scenario.make ~name:"ext-pruning" ~degrees:paper_degrees
+        ~description:
+          "Ablation: dynamic backbone under the three pruning levels, against the static \
+           backbone as the no-history reference (2.5-hop mode)."
+        [
+          fwd "static-2.5hop";
+          fwd "dynamic-2.5hop/sender";
+          fwd "dynamic-2.5hop/coverage";
+          fwd "dynamic-2.5hop";
+        ];
+      Scenario.make ~name:"ext-approx" ~ns:[ 8; 10; 12; 14; 16 ] ~degrees:[ 6. ]
+        ~description:
+          "Approximation ratios |CDS| / |MCDS| on small networks (the exact solver is \
+           exponential) for the static backbone (both modes), MO_CDS and greedy CDS."
+        [
+          Scenario.Mcds_size;
+          ratio "static-2.5hop";
+          ratio "static-3hop";
+          ratio "mo_cds";
+          ratio ~name:"greedy/mcds" "greedy-cds";
+        ];
+    ]
+
+let builtin_exn name =
+  match List.assoc_opt name builtins with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown builtin scenario %S; available: %s" name
+         (String.concat ", " (List.map fst builtins)))
+
+(* Configuration of the custom-shape experiments below (the sweep-shaped
+   figures above carry theirs in the scenario). *)
 
 type config = {
   seed : int;
@@ -11,7 +149,6 @@ type config = {
   min_samples : int;
   max_samples : int;
   rel_precision : float;
-  domains : int;
 }
 
 let default =
@@ -21,23 +158,9 @@ let default =
     min_samples = 30;
     max_samples = 500;
     rel_precision = 0.05;
-    domains = 1;
   }
 
-let quick =
-  {
-    seed = 7;
-    ns = [ 20; 60; 100 ];
-    min_samples = 5;
-    max_samples = 8;
-    rel_precision = 0.5;
-    domains = 1;
-  }
-
-let sweep config ~d metrics =
-  let rng = Rng.create ~seed:config.seed in
-  Sweep.run ~rel_precision:config.rel_precision ~min_samples:config.min_samples
-    ~max_samples:config.max_samples ~domains:config.domains ~rng ~d ~ns:config.ns metrics
+let quick = { seed = 7; ns = [ 20; 60; 100 ]; min_samples = 5; max_samples = 8; rel_precision = 0.5 }
 
 (* Direct protocol access for the experiments below that run protocols
    outside a metric sweep (mobility probes, border placements, oracle
@@ -50,147 +173,6 @@ let structure_of name ?clustering g =
   match (prepare name ?clustering g).Protocol.members with
   | Some members -> members
   | None -> invalid_arg (name ^ " has no materialized structure")
-
-let fig6 ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.structure_size "static-2.5hop";
-      Metric.structure_size "static-3hop";
-      Metric.structure_size "mo_cds";
-    ]
-
-let fig7 ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.forwards "dynamic-2.5hop";
-      Metric.forwards "dynamic-3hop";
-      Metric.forwards "mo_cds";
-    ]
-
-let fig8 ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.forwards "static-2.5hop";
-      Metric.forwards "static-3hop";
-      Metric.forwards "dynamic-2.5hop";
-      Metric.forwards "dynamic-3hop";
-    ]
-
-let ext_baselines ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.forwards "flooding";
-      Metric.forwards "wu-li";
-      Metric.forwards "dp";
-      Metric.forwards "pdp";
-      Metric.forwards "ahbp";
-      Metric.forwards "mpr";
-      Metric.forwards "fwd-tree";
-      Metric.forwards "self-pruning";
-      Metric.forwards "counter";
-      Metric.delivery ~name:"counter-delivery" "counter";
-      Metric.forwards "passive";
-      Metric.delivery ~name:"passive-delivery" "passive";
-      Metric.forwards "static-2.5hop";
-      Metric.forwards "dynamic-2.5hop";
-    ]
-
-let ext_si_cds ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.structure_size "static-2.5hop";
-      Metric.structure_size "mo_cds";
-      Metric.structure_size "wu-li";
-      Metric.structure_size "tree-cds";
-      Metric.structure_size "greedy-cds";
-      Metric.cluster_count;
-    ]
-
-let ext_clustering ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.structure_size "static-2.5hop";
-      Metric.structure_size ~name:"static-2.5hop/deg"
-        ~clustering:Manet_cluster.Highest_degree.cluster "static-2.5hop";
-      Metric.cluster_count;
-      Metric.cluster_count_highest_degree;
-    ]
-
-let ext_pruning ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.forwards "static-2.5hop";
-      Metric.forwards "dynamic-2.5hop/sender";
-      Metric.forwards "dynamic-2.5hop/coverage";
-      Metric.forwards "dynamic-2.5hop";
-    ]
-
-let ratio_metric name size =
-  {
-    Metric.name;
-    eval =
-      (fun ctx ->
-        let mcds =
-          float_of_int
-            (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build (Context.graph ctx)))
-        in
-        size.Metric.eval ctx /. mcds);
-  }
-
-let ext_approx ?(config = default) () =
-  let config = { config with ns = [ 8; 10; 12; 14; 16 ] } in
-  (* The exact solver is a reference oracle, not a broadcast protocol,
-     so it stays a direct call; the approximations it normalizes are
-     registry lookups. *)
-  let mcds_size =
-    {
-      Metric.name = "mcds";
-      eval =
-        (fun ctx ->
-          float_of_int
-            (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build (Context.graph ctx))));
-    }
-  in
-  sweep config ~d:6.
-    [
-      mcds_size;
-      ratio_metric "static-2.5hop/mcds" (Metric.structure_size "static-2.5hop");
-      ratio_metric "static-3hop/mcds" (Metric.structure_size "static-3hop");
-      ratio_metric "mo_cds/mcds" (Metric.structure_size "mo_cds");
-      ratio_metric "greedy/mcds" (Metric.structure_size "greedy-cds");
-    ]
-
-let ext_msgs ?(config = default) ~d () =
-  let cost name pick =
-    {
-      Metric.name;
-      eval =
-        (fun ctx ->
-          let c, _ = Manet_backbone.Construction_cost.measure (Context.graph ctx) Coverage.Hop25 in
-          pick c);
-    }
-  in
-  sweep config ~d
-    [
-      cost "hello" (fun c -> float_of_int c.Manet_backbone.Construction_cost.hello);
-      cost "clustering" (fun c -> float_of_int c.Manet_backbone.Construction_cost.clustering);
-      cost "ch_hop" (fun c -> float_of_int c.Manet_backbone.Construction_cost.ch_hop);
-      cost "gateway" (fun c -> float_of_int c.Manet_backbone.Construction_cost.gateway);
-      cost "total" (fun c -> float_of_int c.Manet_backbone.Construction_cost.total);
-      cost "total/n" (fun c ->
-          float_of_int c.Manet_backbone.Construction_cost.total
-          /. float_of_int c.Manet_backbone.Construction_cost.hello);
-    ]
-
-let ext_delivery ?(config = default) ~d () =
-  sweep config ~d
-    [
-      Metric.delivery ~name:"delivery-2.5hop" "dynamic-2.5hop";
-      Metric.delivery ~name:"delivery-3hop" "dynamic-3hop";
-      Metric.delivery "dp";
-      Metric.delivery "pdp";
-      Metric.delivery "mpr";
-    ]
 
 (* Lossy links: delivery of each broadcasting scheme as per-reception
    loss grows — redundancy pays for reliability.  Every series is the
@@ -328,8 +310,8 @@ let ext_reliable ?(config = default) ?(losses = [ 0.; 0.1; 0.2; 0.3 ]) ~d () =
     let flood_once = Summary.create () in
     let flood_oracle = Summary.create () in
     for _ = 1 to samples do
-      let ctx = Context.draw rng spec in
-      let g = Context.graph ctx in
+      let ctx = Metric.draw rng spec in
+      let g = ctx.Metric.graph in
       let nn = Manet_graph.Graph.n g in
       (* Tree: the Pagani-Rossi forwarding tree rooted at the source's
          clusterhead; every non-member answers to its clusterhead.  The
@@ -417,6 +399,7 @@ let ext_maintenance ?(config = default) ?(speeds = [ 1.; 2.; 5.; 10. ]) ~d () =
   let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
   let rng = Rng.create ~seed:config.seed in
   let samples = config.min_samples in
+  let module Static = Manet_backbone.Static_backbone in
   let row speed =
     let msgs = Summary.create () in
     let churn = Summary.create () in

@@ -1,77 +1,62 @@
-(** The paper's figures and this repository's extension experiments, as
-    runnable definitions.  Each function reproduces one figure's series
-    (see DESIGN.md's experiment index and EXPERIMENTS.md for
-    paper-vs-measured records).
+(** The paper's figures and this repository's extension experiments.
+
+    Every sweep-shaped figure is {e data}: a {!Scenario.t} in
+    {!builtins}, executed by {!Runner.run} (and from the command line as
+    [manet run <name>]).  The scenario's [description] records the
+    expected shape of its curves; EXPERIMENTS.md records
+    paper-vs-measured values.  Only the custom-shape experiments below —
+    whose result tables are not {!Sweep.table}s — remain code.
 
     All experiments share the evaluation setup of Section 4: a 100 x 100
     space, uniform placement, rejection of disconnected topologies,
     d in {6, 18}, n = 20..100, and the repeat-until-99%-CI-within-±5%
     stopping rule (bounded by [max_samples]). *)
 
+val builtins : (string * Scenario.t) list
+(** The sweep-shaped figures, keyed by scenario name:
+
+    - [fig6] — average CDS size: static backbone (2.5-hop, 3-hop) vs
+      MO_CDS.  Expected: curves nearly coincide, static slightly below.
+    - [fig7] — forward-node-set size: dynamic backbone vs MO_CDS.
+      Expected: dynamic well below MO_CDS.
+    - [fig8] — forward set, static vs dynamic backbone (both modes).
+      Expected: dynamic below static, modes nearly equal.
+    - [ext-baselines] — forward counts across every baseline protocol.
+    - [ext-si-cds] — CDS sizes across the source-independent algorithms.
+    - [ext-clustering] — lowest-ID vs highest-connectivity ablation.
+    - [ext-msgs] — construction message complexity (O(n) check).
+    - [ext-delivery] — delivery ratios of the SD protocols (≈ 1.0).
+    - [ext-pruning] — dynamic-backbone pruning levels.
+    - [ext-approx] — |CDS| / |MCDS| on small n against branch and bound.
+
+    All run at the paper's full precision; apply {!Scenario.quicken} for
+    a smoke run. *)
+
+val builtin_exn : string -> Scenario.t
+(** Look up a builtin by name.
+    @raise Invalid_argument on unknown names, listing the valid ones. *)
+
+(** {1 Custom-shape experiments}
+
+    Result tables that are not [Sweep.table]s (loss grids, mobility
+    trajectories, ack accounting); each comes with its renderer. *)
+
 type config = {
   seed : int;
-  ns : int list;
+  ns : int list;  (** n is the largest entry; sweep grids are bespoke *)
   min_samples : int;
   max_samples : int;
   rel_precision : float;
-  domains : int;  (** parallel domains for sweep points; results identical *)
 }
 
 val default : config
-(** seed 42, n = 20, 30, ..., 100, 30..500 samples, ±5%, 1 domain. *)
+(** seed 42, n = 20, 30, ..., 100, 30..500 samples, ±5%. *)
 
 val quick : config
 (** A smoke-test configuration: n = 20, 60, 100 and few samples; used by
     the test suite to exercise the full pipeline cheaply. *)
 
-val fig6 : ?config:config -> d:float -> unit -> Sweep.table
-(** Figure 6: average CDS size — static backbone (2.5-hop, 3-hop) vs
-    MO_CDS.  Expected shape: the three curves nearly coincide, static
-    slightly below MO_CDS, 2.5-hop within 2% of 3-hop. *)
-
-val fig7 : ?config:config -> d:float -> unit -> Sweep.table
-(** Figure 7: average forward-node-set size per broadcast — dynamic
-    backbone (2.5-hop, 3-hop) vs MO_CDS.  Expected: dynamic well below
-    MO_CDS. *)
-
-val fig8 : ?config:config -> d:float -> unit -> Sweep.table
-(** Figure 8: forward-node-set size — static vs dynamic backbone (both
-    modes).  Expected: dynamic below static, both modes nearly equal. *)
-
-val ext_baselines : ?config:config -> d:float -> unit -> Sweep.table
-(** Extension: forward counts of flooding, Wu-Li, DP, PDP, MPR, AHBP,
-    backoff self-pruning and passive clustering alongside the paper's
-    static and dynamic backbones (plus passive clustering's delivery
-    ratio, which the paper singles out as poor). *)
-
-val ext_si_cds : ?config:config -> d:float -> unit -> Sweep.table
-(** Extension: CDS sizes across all the source-independent algorithms in
-    the repository — the paper's static backbone, MO_CDS, Wu-Li,
-    spanning-tree CDS and greedy CDS — with the cluster count as the
-    common floor. *)
-
-val ext_clustering : ?config:config -> d:float -> unit -> Sweep.table
-(** Ablation: backbone size and cluster counts under lowest-ID vs
-    highest-connectivity clustering. *)
-
-val ext_pruning : ?config:config -> d:float -> unit -> Sweep.table
-(** Ablation: dynamic backbone under the three pruning levels, against
-    the static backbone as the no-history reference (2.5-hop mode). *)
-
-val ext_approx : ?config:config -> unit -> Sweep.table
-(** Approximation ratios |CDS| / |MCDS| on small networks (n = 8..16,
-    d = 6) for the static backbone (both modes), MO_CDS and greedy CDS,
-    with the exact MCDS from branch and bound. *)
-
-val ext_msgs : ?config:config -> d:float -> unit -> Sweep.table
-(** Message complexity: transmissions of each distributed construction
-    stage, and the total divided by n (flat when the total is O(n)). *)
-
-val ext_delivery : ?config:config -> d:float -> unit -> Sweep.table
-(** Diagnostic: delivery ratios of the dynamic backbone and the SD
-    baselines (expected at or near 1.0). *)
-
-(** {1 Lossy links (custom shape)} *)
+(** {2 Lossy links} *)
 
 type lossy_row = {
   loss : float;
@@ -97,7 +82,7 @@ val ext_lossy :
 
 val render_lossy : lossy_table -> string
 
-(** {1 Border effects (custom shape)} *)
+(** {2 Border effects} *)
 
 type border_row = {
   n : int;
@@ -117,7 +102,7 @@ val ext_border : ?config:config -> d:float -> unit -> border_table
 
 val render_border : border_table -> string
 
-(** {1 Reliable broadcast (custom shape)} *)
+(** {2 Reliable broadcast} *)
 
 type reliable_row = {
   loss : float;
@@ -139,7 +124,7 @@ val ext_reliable : ?config:config -> ?losses:float list -> d:float -> unit -> re
 
 val render_reliable : reliable_table -> string
 
-(** {1 Maintenance cost (custom shape)} *)
+(** {2 Maintenance cost} *)
 
 type maintenance_row = {
   speed : float;
@@ -165,7 +150,7 @@ val ext_maintenance :
 
 val render_maintenance : maintenance_table -> string
 
-(** {1 Mobility (custom shape)} *)
+(** {2 Mobility} *)
 
 type mobility_row = {
   speed : float;

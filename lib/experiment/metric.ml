@@ -2,8 +2,48 @@ module Nodeset = Manet_graph.Nodeset
 module Result = Manet_broadcast.Result
 module Protocol = Manet_broadcast.Protocol
 module Registry = Manet_protocols.Registry
+module Rng = Manet_rng.Rng
+module Mobility = Manet_topology.Mobility
 
-type t = { name : string; eval : Context.t -> float }
+type ctx = {
+  graph : Manet_graph.Graph.t;
+  clustering : Manet_cluster.Clustering.t;
+  source : int;
+  rng : Rng.t;
+}
+
+type perturbation = {
+  model : Mobility.model;
+  steps : int;
+  dt : float;
+  speed_min : float;
+  speed_max : float;
+  pause_time : float;
+}
+
+let draw ?perturb rng spec =
+  let sample = Manet_topology.Generator.sample_connected rng spec in
+  let graph =
+    match perturb with
+    | None -> sample.graph
+    | Some p ->
+      (* The walk draws from its own split so that enabling mobility
+         leaves the placement stream untouched; the snapshot may be
+         disconnected — that is the measured effect. *)
+      let mob =
+        Mobility.create ~pause_time:p.pause_time ~model:p.model ~speed_min:p.speed_min
+          ~speed_max:p.speed_max ~rng:(Rng.split rng) ~spec sample.points
+      in
+      for _ = 1 to p.steps do
+        Mobility.step mob ~dt:p.dt
+      done;
+      Mobility.graph mob ~radius:sample.radius
+  in
+  let clustering = Manet_cluster.Lowest_id.cluster graph in
+  let source = Rng.int rng (Manet_graph.Graph.n graph) in
+  { graph; clustering; source; rng = Rng.split rng }
+
+type t = { name : string; eval : ctx -> float }
 
 (* The context is the protocol environment: same topology, same
    clustering, same per-sample generator for every protocol under
@@ -12,9 +52,9 @@ type t = { name : string; eval : Context.t -> float }
    scratch across every sample it evaluates. *)
 let env_of ctx =
   {
-    Protocol.graph = Context.graph ctx;
-    clustering = lazy ctx.Context.clustering;
-    rng = ctx.Context.rng;
+    Protocol.graph = ctx.graph;
+    clustering = lazy ctx.clustering;
+    rng = ctx.rng;
     arena = Manet_broadcast.Engine.Arena.get ();
   }
 
@@ -23,26 +63,27 @@ let prepared ?clustering protocol ctx =
   let env =
     match clustering with
     | None -> env
-    | Some cluster -> { env with Protocol.clustering = lazy (cluster (Context.graph ctx)) }
+    | Some cluster -> { env with Protocol.clustering = lazy (cluster ctx.graph) }
   in
   protocol.Protocol.prepare env
 
 let run_once ?clustering ~mode protocol ctx =
   let built = prepared ?clustering protocol ctx in
-  fst (built.Protocol.run ~source:ctx.Context.source ~mode)
+  fst (built.Protocol.run ~source:ctx.source ~mode)
 
-let forwards ?name pname =
+let mode_of_loss = function None -> Protocol.Perfect | Some l -> Protocol.Lossy l
+
+let forwards ?name ?loss pname =
   let protocol = Registry.find_exn pname in
+  let mode = mode_of_loss loss in
   {
     name = Option.value name ~default:pname;
-    eval =
-      (fun ctx ->
-        float_of_int (Result.forward_count (run_once ~mode:Protocol.Perfect protocol ctx)));
+    eval = (fun ctx -> float_of_int (Result.forward_count (run_once ~mode protocol ctx)));
   }
 
 let delivery ?name ?loss pname =
   let protocol = Registry.find_exn pname in
-  let mode = match loss with None -> Protocol.Perfect | Some l -> Protocol.Lossy l in
+  let mode = mode_of_loss loss in
   {
     name = Option.value name ~default:pname;
     eval = (fun ctx -> Result.delivery_ratio (run_once ~mode protocol ctx));
@@ -84,9 +125,8 @@ let cluster_count_highest_degree =
     eval =
       (fun ctx ->
         float_of_int
-          (Manet_cluster.Clustering.num_clusters
-             (Manet_cluster.Highest_degree.cluster (Context.graph ctx))));
+          (Manet_cluster.Clustering.num_clusters (Manet_cluster.Highest_degree.cluster ctx.graph)));
   }
 
 let realized_degree =
-  { name = "degree"; eval = (fun ctx -> Manet_graph.Graph.avg_degree (Context.graph ctx)) }
+  { name = "degree"; eval = (fun ctx -> Manet_graph.Graph.avg_degree ctx.graph) }

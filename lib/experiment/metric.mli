@@ -1,7 +1,14 @@
 (** The measured quantities, one per series in the paper's figures and
-    the extension experiments.
+    the extension experiments — and the experimental unit they are
+    measured on.
 
-    A metric maps a {!Context.t} to a number; {!Sweep} averages it over
+    A {!ctx} is one experimental unit: a connected random topology (or a
+    mobility-perturbed snapshot of one), its lowest-ID clustering, and a
+    uniformly chosen broadcast source.  Every algorithm under comparison
+    is evaluated on the {e same} context, mirroring how the paper
+    compares algorithms and sharply reducing comparison variance.
+
+    A metric maps a {!ctx} to a number; {!Sweep} averages it over
     contexts under the paper's confidence-interval stopping rule.
 
     Every broadcast measurement is registry-driven: a metric names a
@@ -11,18 +18,51 @@
     protocol immediately gains forward-count, delivery-ratio and
     loss-sweep series with no new code here. *)
 
-type t = { name : string; eval : Context.t -> float }
+type ctx = {
+  graph : Manet_graph.Graph.t;
+  clustering : Manet_cluster.Clustering.t;
+  source : int;
+  rng : Manet_rng.Rng.t;
+      (** per-sample generator for randomized protocols (backoffs, loss);
+          split from the draw generator so metrics cannot perturb the
+          topology stream *)
+}
 
-val env_of : Context.t -> Manet_broadcast.Protocol.env
+(** A mobility regime applied between placement and measurement: the
+    initial connected placement walks [steps] steps of [dt] under the
+    given model before the unit-disk snapshot is taken — the snapshot
+    (possibly disconnected) is what the context's metrics see.  This is
+    the scenario layer's mobility axis (adaptive-broadcast-period-style
+    workloads) and costs nothing when absent. *)
+type perturbation = {
+  model : Manet_topology.Mobility.model;
+  steps : int;
+  dt : float;
+  speed_min : float;
+  speed_max : float;
+  pause_time : float;
+}
+
+val draw : ?perturb:perturbation -> Manet_rng.Rng.t -> Manet_topology.Spec.t -> ctx
+(** Draw a fresh connected topology (rejection sampling per the paper),
+    optionally walk it under [perturb], cluster the result, and pick a
+    uniform source.  Without [perturb] the generator consumption is
+    identical to the historical [Context.draw], so seeded streams are
+    unchanged. *)
+
+type t = { name : string; eval : ctx -> float }
+
+val env_of : ctx -> Manet_broadcast.Protocol.env
 (** The context as a protocol environment: its topology, its
     clustering (lazily) and its per-sample generator. *)
 
 (** {1 Registry-driven series} *)
 
-val forwards : ?name:string -> string -> t
+val forwards : ?name:string -> ?loss:float -> string -> t
 (** [forwards proto] is the forward-node count of one broadcast of the
     registered protocol [proto] from the context's source — the paper's
-    key metric (Figures 7 and 8).  [name] defaults to [proto]. *)
+    key metric (Figures 7 and 8).  [name] defaults to [proto]; with
+    [loss], the broadcast runs under the failure-injection engine. *)
 
 val delivery : ?name:string -> ?loss:float -> string -> t
 (** [delivery proto] is the delivery ratio of one broadcast; with

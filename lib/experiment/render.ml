@@ -26,24 +26,79 @@ let to_text ?title (t : Sweep.table) =
     t.points;
   Buffer.contents buf
 
+(* The one formatting path both file writers draw from: [value] renders
+   every numeric cell, [label] every metric name, per dialect.  Keeping
+   these shared is what guarantees the CSV and JSON of a table never
+   disagree on a digit. *)
+
+let value v = Printf.sprintf "%.4f" v
+
+let csv_label s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let json_label s = "\"" ^ Json.escape_string s ^ "\""
+
+let cell_stats (c : Sweep.cell) =
+  (Summary.mean c.summary, Summary.ci_half_width c.summary ~z:Confidence.z99)
+
 let to_csv (t : Sweep.table) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "n,samples";
-  List.iter (fun m -> Buffer.add_string buf (Printf.sprintf ",%s_mean,%s_ci" m m)) t.metrics;
+  List.iter
+    (fun m ->
+      let m = csv_label m in
+      Buffer.add_string buf (Printf.sprintf ",%s_mean,%s_ci" m m))
+    t.metrics;
   Buffer.add_char buf '\n';
   List.iter
     (fun (p : Sweep.point) ->
       Buffer.add_string buf (Printf.sprintf "%d,%d" p.n p.samples);
       List.iter
-        (fun (_, (c : Sweep.cell)) ->
-          Buffer.add_string buf
-            (Printf.sprintf ",%.4f,%.4f" (Summary.mean c.summary)
-               (Summary.ci_half_width c.summary ~z:Confidence.z99)))
+        (fun (_, c) ->
+          let mean, hw = cell_stats c in
+          Buffer.add_string buf (Printf.sprintf ",%s,%s" (value mean) (value hw)))
         p.cells;
       Buffer.add_char buf '\n')
     t.points;
   Buffer.contents buf
 
-let write_csv ~path t =
+let to_json (t : Sweep.table) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\n  \"d\": %s,\n" (Json.number_to_string t.d));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metrics\": [%s],\n" (String.concat ", " (List.map json_label t.metrics)));
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i (p : Sweep.point) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    {\"n\": %d, \"samples\": %d, \"cells\": [" p.n p.samples);
+      List.iteri
+        (fun j (name, (c : Sweep.cell)) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          let mean, hw = cell_stats c in
+          Buffer.add_string buf
+            (Printf.sprintf "{\"metric\": %s, \"mean\": %s, \"ci\": %s, \"converged\": %b}"
+               (json_label name) (value mean) (value hw) c.converged))
+        p.cells;
+      Buffer.add_string buf "]}")
+    t.points;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write_file ~path text =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let write_csv ~path t = write_file ~path (to_csv t)
+
+let write_json ~path t = write_file ~path (to_json t)

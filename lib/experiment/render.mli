@@ -1,11 +1,29 @@
 (** Table rendering for sweep results: aligned text for the terminal
-    (the paper-shaped series) and CSV for plotting. *)
+    (the paper-shaped series), CSV and JSON for plotting.
+
+    The CSV and JSON writers share one formatting path — the same
+    numeric formatting ([%.4f] for means and CI half-widths) and one
+    escaping entry point per label — so the two files of a table always
+    carry identical values and the CSV bytes are stable across
+    refactors. *)
 
 val to_text : ?title:string -> Sweep.table -> string
 (** One row per n, one column per metric, mean with the 99% CI half-width
     in parentheses; rows that hit the sample cap are marked with [*]. *)
 
 val to_csv : Sweep.table -> string
-(** Columns: n, samples, then mean and ci for each metric. *)
+(** Columns: n, samples, then mean and ci for each metric.  Labels
+    containing a comma, quote or newline are RFC-4180 quoted (the
+    registered protocol names never need it, so historical files are
+    byte-identical). *)
 
 val write_csv : path:string -> Sweep.table -> unit
+
+val to_json : Sweep.table -> string
+(** The same table as a JSON document:
+    [{"d": .., "metrics": [..], "points": [{"n": .., "samples": ..,
+    "cells": [{"metric": .., "mean": .., "ci": .., "converged": ..},
+    ..]}, ..]}] with means and CIs in exactly the CSV's [%.4f]
+    formatting. *)
+
+val write_json : path:string -> Sweep.table -> unit

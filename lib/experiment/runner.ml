@@ -1,0 +1,61 @@
+module Rng = Manet_rng.Rng
+
+type progress = { points_done : int; points_total : int; point : Sweep.point }
+
+let run ?journal ?(resume = false) ?(progress = fun _ -> ()) (scenario : Scenario.t) =
+  let metrics = Scenario.compile scenario in
+  (* Resume: trust every chunk the journal already holds.  The key is
+     the chunk's RNG coordinates, so it does not matter in which order
+     (or under how many domains) the entries were produced. *)
+  let cache : (int * int * int, Sweep.chunk) Hashtbl.t = Hashtbl.create 256 in
+  let resuming = resume && journal <> None && Sys.file_exists (Option.get journal) in
+  if resuming then begin
+    match Journal.load ~path:(Option.get journal) with
+    | Error m -> failwith m
+    | Ok (recorded, entries) ->
+      if not (Journal.matches recorded scenario) then
+        failwith
+          (Printf.sprintf
+             "journal: %s was written for a different scenario (seed/grids/metrics differ); \
+              delete it or rerun without --resume"
+             (Option.get journal));
+      List.iter
+        (fun (e : Journal.entry) -> Hashtbl.replace cache (e.degree, e.point, e.chunk) e.rows)
+        entries
+  end;
+  let writer =
+    match journal with
+    | None -> None
+    | Some path ->
+      Some (if resuming then Journal.reopen ~path else Journal.create ~path scenario)
+  in
+  let { Scenario.min_samples; max_samples; rel_precision } = scenario.stopping in
+  let points_total =
+    List.length scenario.topology.degrees * List.length scenario.topology.ns
+  in
+  let points_done = ref 0 in
+  let tables =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Journal.close writer)
+      (fun () ->
+        List.mapi
+          (fun di d ->
+            (* Every degree table re-derives its generator from the
+               scenario seed, exactly as the historical per-figure runs
+               did — the journal only ever shortcuts evaluation. *)
+            let rng = Rng.create ~seed:scenario.seed in
+            Sweep.run ~rel_precision ~min_samples ~max_samples ~domains:scenario.domains
+              ?perturb:scenario.mobility
+              ~cached:(fun ~point ~chunk -> Hashtbl.find_opt cache (di, point, chunk))
+              ~on_chunk:(fun ~point ~chunk rows ->
+                Option.iter
+                  (fun w -> Journal.append w { Journal.degree = di; point; chunk; rows })
+                  writer)
+              ~progress:(fun p ->
+                incr points_done;
+                progress { points_done = !points_done; points_total; point = p })
+              ~width:scenario.topology.width ~height:scenario.topology.height ~rng ~d
+              ~ns:scenario.topology.ns metrics)
+          scenario.topology.degrees)
+  in
+  tables

@@ -1,0 +1,44 @@
+(** The streaming, resumable scenario runner.
+
+    [run] executes a {!Scenario.t} — one {!Sweep.table} per entry of its
+    degree grid, each size point under the paper's stopping rule — while
+    (optionally) appending every evaluated sample chunk to a
+    {!Journal}.  Because the journal records chunks with their RNG
+    coordinates and all generators are re-derived from the scenario
+    seed, a run killed at any point resumes {e bit-identically}: chunks
+    found in the journal are trusted without re-evaluation, missing ones
+    are recomputed from the same generator splits an uninterrupted run
+    would have used.  A complete journal therefore replays with zero
+    simulation — that is also how tables are re-rendered from a journal
+    ([run] with [resume] on a finished journal is a pure read). *)
+
+type progress = {
+  points_done : int;  (** finished points, across the whole degree grid *)
+  points_total : int;
+  point : Sweep.point;  (** the point that just finished *)
+}
+
+val run :
+  ?journal:string ->
+  ?resume:bool ->
+  ?progress:(progress -> unit) ->
+  Scenario.t ->
+  Sweep.table list
+(** One table per degree, in grid order.
+
+    [journal] streams every freshly evaluated chunk to that path (the
+    file is created with the scenario header, or appended to under
+    [resume]).  Without [journal] the run is purely in-memory.
+
+    [resume] (default false) loads an existing journal at [journal]
+    first and feeds its chunks back through {!Sweep}'s cache; when the
+    file does not exist the run simply starts fresh, so a resumed
+    invocation is safe to retry.  The recorded scenario must match the
+    requested one up to [domains] ({!Journal.matches}).
+
+    [progress] fires per finished point, in evaluation order, from the
+    calling domain.
+
+    @raise Invalid_argument if the scenario fails {!Scenario.validate}.
+    @raise Failure on journal errors (unreadable file, malformed line,
+    scenario mismatch), with a message naming the problem. *)

@@ -1,0 +1,508 @@
+module Registry = Manet_protocols.Registry
+module Mobility = Manet_topology.Mobility
+
+type clustering = Lowest_id | Highest_degree
+
+type cost_field = Hello | Clustering_msgs | Ch_hop | Gateway | Total | Total_per_hello
+
+type metric =
+  | Forwards of { protocol : string; name : string option; loss : float option }
+  | Delivery of { protocol : string; name : string option; loss : float option }
+  | Structure_size of { protocol : string; name : string option; clustering : clustering option }
+  | Completion_time of { protocol : string; name : string option }
+  | Cluster_count of { clustering : clustering }
+  | Realized_degree
+  | Mcds_size
+  | Mcds_ratio of { protocol : string; name : string option }
+  | Construction_cost of { field : cost_field; name : string option }
+
+type topology = { ns : int list; degrees : float list; width : float; height : float }
+
+type stopping = { min_samples : int; max_samples : int; rel_precision : float }
+
+type t = {
+  name : string;
+  description : string;
+  seed : int;
+  domains : int;
+  topology : topology;
+  mobility : Metric.perturbation option;
+  loss : float option;
+  stopping : stopping;
+  metrics : metric list;
+}
+
+let version = 1
+
+let paper_ns = [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+
+let default_stopping = { min_samples = 30; max_samples = 500; rel_precision = 0.05 }
+
+let quick_stopping = { min_samples = 5; max_samples = 8; rel_precision = 0.5 }
+
+let make ?(description = "") ?(seed = 42) ?(domains = 1) ?(ns = paper_ns) ?(width = 100.)
+    ?(height = 100.) ?mobility ?loss ?(stopping = default_stopping) ~name ~degrees metrics =
+  {
+    name;
+    description;
+    seed;
+    domains;
+    topology = { ns; degrees; width; height };
+    mobility;
+    loss;
+    stopping;
+    metrics;
+  }
+
+let quicken s =
+  {
+    s with
+    seed = 7;
+    stopping = quick_stopping;
+    topology =
+      { s.topology with ns = (if s.topology.ns = paper_ns then [ 20; 60; 100 ] else s.topology.ns) };
+  }
+
+(* Names *)
+
+let cost_field_tag = function
+  | Hello -> "hello"
+  | Clustering_msgs -> "clustering"
+  | Ch_hop -> "ch_hop"
+  | Gateway -> "gateway"
+  | Total -> "total"
+  | Total_per_hello -> "total/hello"
+
+let metric_name = function
+  | Forwards { protocol; name; _ }
+  | Delivery { protocol; name; _ }
+  | Structure_size { protocol; name; _ }
+  | Completion_time { protocol; name } ->
+    Option.value name ~default:protocol
+  | Cluster_count { clustering = Lowest_id } -> "clusters"
+  | Cluster_count { clustering = Highest_degree } -> "clusters/deg"
+  | Realized_degree -> "degree"
+  | Mcds_size -> "mcds"
+  | Mcds_ratio { protocol; name } -> Option.value name ~default:(protocol ^ "/mcds")
+  | Construction_cost { field; name } ->
+    Option.value name ~default:(match field with Total_per_hello -> "total/n" | f -> cost_field_tag f)
+
+(* Validation *)
+
+let protocol_of = function
+  | Forwards { protocol; _ }
+  | Delivery { protocol; _ }
+  | Structure_size { protocol; _ }
+  | Completion_time { protocol; _ }
+  | Mcds_ratio { protocol; _ } ->
+    Some protocol
+  | Cluster_count _ | Realized_degree | Mcds_size | Construction_cost _ -> None
+
+let validate s =
+  let err fmt = Printf.ksprintf (fun m -> Error ("scenario: " ^ m)) fmt in
+  let rec check_metrics i seen = function
+    | [] -> Ok ()
+    | m :: rest -> (
+      let bad_loss l = l < 0. || l > 1. || Float.is_nan l in
+      let metric_loss =
+        match m with Forwards { loss; _ } | Delivery { loss; _ } -> loss | _ -> None
+      in
+      match protocol_of m with
+      | Some p when Registry.find p = None ->
+        err "metrics[%d]: unknown protocol %S; registered protocols: %s" i p
+          (String.concat ", " Registry.names)
+      | _ ->
+        (match metric_loss with
+        | Some l when bad_loss l ->
+          err "metrics[%d]: loss %s outside [0, 1]" i (Json.number_to_string l)
+        | _ ->
+          let name = metric_name m in
+          if List.mem name seen then
+            err
+              "metrics[%d]: duplicate series label %S; set a distinct \"name\" on one of the \
+               colliding metrics"
+              i name
+          else check_metrics (i + 1) (name :: seen) rest))
+  in
+  if s.name = "" then err "\"name\" must be non-empty"
+  else if s.domains < 1 then err "\"domains\" must be >= 1 (got %d)" s.domains
+  else if s.topology.ns = [] then err "topology.n must list at least one network size"
+  else if List.exists (fun n -> n < 2) s.topology.ns then
+    err "topology.n: every size must be >= 2 (got %s)"
+      (String.concat ", " (List.map string_of_int s.topology.ns))
+  else if s.topology.degrees = [] then err "topology.degree must list at least one target degree"
+  else if List.exists (fun d -> d <= 0. || Float.is_nan d) s.topology.degrees then
+    err "topology.degree: every target degree must be positive"
+  else if s.topology.width <= 0. || s.topology.height <= 0. then
+    err "topology.width and topology.height must be positive"
+  else if s.stopping.min_samples < 2 then
+    err "stopping.min_samples must be >= 2 (got %d)" s.stopping.min_samples
+  else if s.stopping.max_samples < s.stopping.min_samples then
+    err "stopping.max_samples (%d) must be >= stopping.min_samples (%d)" s.stopping.max_samples
+      s.stopping.min_samples
+  else if s.stopping.rel_precision <= 0. || Float.is_nan s.stopping.rel_precision then
+    err "stopping.rel_precision must be positive"
+  else
+    match s.loss with
+    | Some l when l < 0. || l > 1. || Float.is_nan l ->
+      err "\"loss\" %s outside [0, 1]" (Json.number_to_string l)
+    | _ -> (
+      match s.mobility with
+      | Some p when p.Metric.steps < 0 -> err "mobility.steps must be >= 0 (got %d)" p.Metric.steps
+      | Some p when p.Metric.dt <= 0. -> err "mobility.dt must be positive"
+      | Some p when p.Metric.speed_min < 0. || p.Metric.speed_max < p.Metric.speed_min ->
+        err "mobility speeds must satisfy 0 <= speed_min <= speed_max"
+      | Some p when p.Metric.pause_time < 0. -> err "mobility.pause_time must be >= 0"
+      | _ ->
+        if s.metrics = [] then err "\"metrics\" must list at least one series"
+        else check_metrics 0 [] s.metrics)
+
+(* Compilation to executable metrics *)
+
+let clustering_fn = function
+  | Lowest_id -> Manet_cluster.Lowest_id.cluster
+  | Highest_degree -> Manet_cluster.Highest_degree.cluster
+
+let mcds_size_of (ctx : Metric.ctx) =
+  float_of_int (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build ctx.Metric.graph))
+
+let compile s =
+  (match validate s with Ok () -> () | Error m -> invalid_arg m);
+  let default_loss = s.loss in
+  let eff loss = match loss with Some _ -> loss | None -> default_loss in
+  List.map
+    (fun m ->
+      let name = metric_name m in
+      match m with
+      | Forwards { protocol; loss; _ } -> Metric.forwards ~name ?loss:(eff loss) protocol
+      | Delivery { protocol; loss; _ } -> Metric.delivery ~name ?loss:(eff loss) protocol
+      | Structure_size { protocol; clustering; _ } ->
+        Metric.structure_size ~name ?clustering:(Option.map clustering_fn clustering) protocol
+      | Completion_time { protocol; _ } -> Metric.completion_time ~name protocol
+      | Cluster_count { clustering = Lowest_id } -> Metric.cluster_count
+      | Cluster_count { clustering = Highest_degree } -> Metric.cluster_count_highest_degree
+      | Realized_degree -> Metric.realized_degree
+      | Mcds_size -> { Metric.name; eval = mcds_size_of }
+      | Mcds_ratio { protocol; _ } ->
+        let size = Metric.structure_size protocol in
+        { Metric.name; eval = (fun ctx -> size.Metric.eval ctx /. mcds_size_of ctx) }
+      | Construction_cost { field; _ } ->
+        let pick (c : Manet_backbone.Construction_cost.t) =
+          match field with
+          | Hello -> float_of_int c.hello
+          | Clustering_msgs -> float_of_int c.clustering
+          | Ch_hop -> float_of_int c.ch_hop
+          | Gateway -> float_of_int c.gateway
+          | Total -> float_of_int c.total
+          | Total_per_hello -> float_of_int c.total /. float_of_int c.hello
+        in
+        {
+          Metric.name;
+          eval =
+            (fun ctx ->
+              let c, _ =
+                Manet_backbone.Construction_cost.measure ctx.Metric.graph
+                  Manet_coverage.Coverage.Hop25
+              in
+              pick c);
+        })
+    s.metrics
+
+(* JSON codec.
+
+   Canonical shape (optional fields omitted when at their default):
+
+   { "version": 1, "name": ..., "description": ..., "seed": ...,
+     "domains": ...,
+     "topology": {"n": [...], "degree": [...], "width": ..., "height": ...},
+     "mobility": {"model": ..., "steps": ..., "dt": ...,
+                  "speed_min": ..., "speed_max": ..., "pause_time": ...},
+     "loss": ...,
+     "stopping": {"min_samples": ..., "max_samples": ..., "rel_precision": ...},
+     "metrics": [{"kind": ..., ...}, ...] } *)
+
+let clustering_tag = function Lowest_id -> "lowest-id" | Highest_degree -> "highest-degree"
+
+let model_tag = function
+  | Mobility.Random_waypoint -> "random-waypoint"
+  | Mobility.Random_direction -> "random-direction"
+
+let metric_to_json m =
+  let opt_str key = function None -> [] | Some v -> [ (key, Json.Str v) ] in
+  let opt_num key = function None -> [] | Some v -> [ (key, Json.Num v) ] in
+  let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in
+  match m with
+  | Forwards { protocol; name; loss } ->
+    kind "forwards" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name @ opt_num "loss" loss)
+  | Delivery { protocol; name; loss } ->
+    kind "delivery" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name @ opt_num "loss" loss)
+  | Structure_size { protocol; name; clustering } ->
+    kind "structure-size"
+      ([ ("protocol", Json.Str protocol) ]
+      @ opt_str "name" name
+      @ opt_str "clustering" (Option.map clustering_tag clustering))
+  | Completion_time { protocol; name } ->
+    kind "completion-time" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name)
+  | Cluster_count { clustering = Lowest_id } -> kind "cluster-count" []
+  | Cluster_count { clustering = Highest_degree } ->
+    kind "cluster-count" [ ("clustering", Json.Str (clustering_tag Highest_degree)) ]
+  | Realized_degree -> kind "realized-degree" []
+  | Mcds_size -> kind "mcds-size" []
+  | Mcds_ratio { protocol; name } ->
+    kind "mcds-ratio" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name)
+  | Construction_cost { field; name } ->
+    kind "construction-cost"
+      ([ ("field", Json.Str (cost_field_tag field)) ] @ opt_str "name" name)
+
+let to_json s =
+  let ints ns = Json.Arr (List.map (fun n -> Json.Num (float_of_int n)) ns) in
+  let floats ds = Json.Arr (List.map (fun d -> Json.Num d) ds) in
+  Json.Obj
+    ([
+       ("version", Json.Num (float_of_int version));
+       ("name", Json.Str s.name);
+     ]
+    @ (if s.description = "" then [] else [ ("description", Json.Str s.description) ])
+    @ [
+        ("seed", Json.Num (float_of_int s.seed));
+        ("domains", Json.Num (float_of_int s.domains));
+        ( "topology",
+          Json.Obj
+            [
+              ("n", ints s.topology.ns);
+              ("degree", floats s.topology.degrees);
+              ("width", Json.Num s.topology.width);
+              ("height", Json.Num s.topology.height);
+            ] );
+      ]
+    @ (match s.mobility with
+      | None -> []
+      | Some p ->
+        [
+          ( "mobility",
+            Json.Obj
+              [
+                ("model", Json.Str (model_tag p.Metric.model));
+                ("steps", Json.Num (float_of_int p.Metric.steps));
+                ("dt", Json.Num p.Metric.dt);
+                ("speed_min", Json.Num p.Metric.speed_min);
+                ("speed_max", Json.Num p.Metric.speed_max);
+                ("pause_time", Json.Num p.Metric.pause_time);
+              ] );
+        ])
+    @ (match s.loss with None -> [] | Some l -> [ ("loss", Json.Num l) ])
+    @ [
+        ( "stopping",
+          Json.Obj
+            [
+              ("min_samples", Json.Num (float_of_int s.stopping.min_samples));
+              ("max_samples", Json.Num (float_of_int s.stopping.max_samples));
+              ("rel_precision", Json.Num s.stopping.rel_precision);
+            ] );
+        ("metrics", Json.Arr (List.map metric_to_json s.metrics));
+      ])
+
+let to_string s = Json.print (to_json s) ^ "\n"
+
+(* Strict decoding: every object traversal checks for unknown fields so
+   a typo'd scenario fails loudly instead of silently running defaults. *)
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun m -> raise (Reject ("scenario: " ^ m))) fmt
+
+let lift v = match v with Ok v -> v | Error m -> raise (Reject ("scenario: " ^ m))
+
+let obj_of ~context j = lift (Json.to_obj ~context j)
+
+let check_fields ~context ~allowed fields =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        reject "unknown field %S in %s (expected one of: %s)" k context
+          (String.concat ", " allowed))
+    fields
+
+let field fields key = List.assoc_opt key fields
+
+let required ~context fields key =
+  match field fields key with
+  | Some v -> v
+  | None -> reject "missing required field %S in %s" key context
+
+let get_int ~context j = lift (Json.to_int ~context j)
+let get_float ~context j = lift (Json.to_float ~context j)
+let get_str ~context j = lift (Json.to_string_value ~context j)
+let get_list ~context j = lift (Json.to_list ~context j)
+
+let clustering_of_tag ~context = function
+  | "lowest-id" -> Lowest_id
+  | "highest-degree" -> Highest_degree
+  | other -> reject "%s: unknown clustering %S (expected \"lowest-id\" or \"highest-degree\")" context other
+
+let cost_field_of_tag ~context = function
+  | "hello" -> Hello
+  | "clustering" -> Clustering_msgs
+  | "ch_hop" -> Ch_hop
+  | "gateway" -> Gateway
+  | "total" -> Total
+  | "total/hello" -> Total_per_hello
+  | other ->
+    reject "%s: unknown construction-cost field %S (expected hello, clustering, ch_hop, gateway, total or total/hello)"
+      context other
+
+let metric_of_json i j =
+  let context = Printf.sprintf "metrics[%d]" i in
+  let fields = obj_of ~context j in
+  let kind = get_str ~context:(context ^ ".kind") (required ~context fields "kind") in
+  let protocol ?(key = "protocol") () =
+    get_str ~context:(context ^ "." ^ key) (required ~context fields key)
+  in
+  let name () = Option.map (get_str ~context:(context ^ ".name")) (field fields "name") in
+  let loss () = Option.map (get_float ~context:(context ^ ".loss")) (field fields "loss") in
+  let clustering () =
+    Option.map
+      (fun v -> clustering_of_tag ~context (get_str ~context:(context ^ ".clustering") v))
+      (field fields "clustering")
+  in
+  let check allowed = check_fields ~context ~allowed:("kind" :: allowed) fields in
+  match kind with
+  | "forwards" ->
+    check [ "protocol"; "name"; "loss" ];
+    Forwards { protocol = protocol (); name = name (); loss = loss () }
+  | "delivery" ->
+    check [ "protocol"; "name"; "loss" ];
+    Delivery { protocol = protocol (); name = name (); loss = loss () }
+  | "structure-size" ->
+    check [ "protocol"; "name"; "clustering" ];
+    Structure_size { protocol = protocol (); name = name (); clustering = clustering () }
+  | "completion-time" ->
+    check [ "protocol"; "name" ];
+    Completion_time { protocol = protocol (); name = name () }
+  | "cluster-count" ->
+    check [ "clustering" ];
+    Cluster_count { clustering = Option.value (clustering ()) ~default:Lowest_id }
+  | "realized-degree" ->
+    check [];
+    Realized_degree
+  | "mcds-size" ->
+    check [];
+    Mcds_size
+  | "mcds-ratio" ->
+    check [ "protocol"; "name" ];
+    Mcds_ratio { protocol = protocol (); name = name () }
+  | "construction-cost" ->
+    check [ "field"; "name" ];
+    Construction_cost
+      {
+        field =
+          cost_field_of_tag ~context
+            (get_str ~context:(context ^ ".field") (required ~context fields "field"));
+        name = name ();
+      }
+  | other ->
+    reject
+      "%s: unknown metric kind %S (expected forwards, delivery, structure-size, completion-time, \
+       cluster-count, realized-degree, mcds-size, mcds-ratio or construction-cost)"
+      context other
+
+let topology_of_json j =
+  let context = "topology" in
+  let fields = obj_of ~context j in
+  check_fields ~context ~allowed:[ "n"; "degree"; "width"; "height" ] fields;
+  let ns =
+    List.map (get_int ~context:"topology.n") (get_list ~context:"topology.n" (required ~context fields "n"))
+  in
+  let degrees =
+    List.map (get_float ~context:"topology.degree")
+      (get_list ~context:"topology.degree" (required ~context fields "degree"))
+  in
+  let dim key default =
+    match field fields key with
+    | None -> default
+    | Some v -> get_float ~context:("topology." ^ key) v
+  in
+  { ns; degrees; width = dim "width" 100.; height = dim "height" 100. }
+
+let stopping_of_json j =
+  let context = "stopping" in
+  let fields = obj_of ~context j in
+  check_fields ~context ~allowed:[ "min_samples"; "max_samples"; "rel_precision" ] fields;
+  {
+    min_samples = get_int ~context:"stopping.min_samples" (required ~context fields "min_samples");
+    max_samples = get_int ~context:"stopping.max_samples" (required ~context fields "max_samples");
+    rel_precision =
+      get_float ~context:"stopping.rel_precision" (required ~context fields "rel_precision");
+  }
+
+let mobility_of_json j =
+  let context = "mobility" in
+  let fields = obj_of ~context j in
+  check_fields ~context
+    ~allowed:[ "model"; "steps"; "dt"; "speed_min"; "speed_max"; "pause_time" ]
+    fields;
+  let model =
+    match get_str ~context:"mobility.model" (required ~context fields "model") with
+    | "random-waypoint" -> Mobility.Random_waypoint
+    | "random-direction" -> Mobility.Random_direction
+    | other ->
+      reject
+        "mobility.model: unknown model %S (expected \"random-waypoint\" or \"random-direction\")"
+        other
+  in
+  {
+    Metric.model;
+    steps = get_int ~context:"mobility.steps" (required ~context fields "steps");
+    dt = get_float ~context:"mobility.dt" (required ~context fields "dt");
+    speed_min = get_float ~context:"mobility.speed_min" (required ~context fields "speed_min");
+    speed_max = get_float ~context:"mobility.speed_max" (required ~context fields "speed_max");
+    pause_time =
+      (match field fields "pause_time" with
+      | None -> 0.
+      | Some v -> get_float ~context:"mobility.pause_time" v);
+  }
+
+let of_json j =
+  match
+    let context = "scenario" in
+    let fields = obj_of ~context j in
+    check_fields ~context
+      ~allowed:
+        [
+          "version"; "name"; "description"; "seed"; "domains"; "topology"; "mobility"; "loss";
+          "stopping"; "metrics";
+        ]
+      fields;
+    let v = get_int ~context:"version" (required ~context fields "version") in
+    if v <> version then
+      reject "unsupported version %d (this build reads version %d)" v version;
+    let s =
+      {
+        name = get_str ~context:"name" (required ~context fields "name");
+        description =
+          (match field fields "description" with
+          | None -> ""
+          | Some v -> get_str ~context:"description" v);
+        seed = get_int ~context:"seed" (required ~context fields "seed");
+        domains =
+          (match field fields "domains" with
+          | None -> 1
+          | Some v -> get_int ~context:"domains" v);
+        topology = topology_of_json (required ~context fields "topology");
+        mobility = Option.map mobility_of_json (field fields "mobility");
+        loss = Option.map (get_float ~context:"loss") (field fields "loss");
+        stopping = stopping_of_json (required ~context fields "stopping");
+        metrics =
+          List.mapi metric_of_json (get_list ~context:"metrics" (required ~context fields "metrics"));
+      }
+    in
+    (match validate s with Ok () -> () | Error m -> raise (Reject m));
+    s
+  with
+  | s -> Ok s
+  | exception Reject m -> Error m
+
+let of_string text =
+  match Json.parse text with
+  | Error m -> Error ("scenario: " ^ m)
+  | Ok j -> of_json j

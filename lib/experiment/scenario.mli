@@ -1,0 +1,134 @@
+(** Declarative experiment scenarios.
+
+    A scenario is the experiment layer's unit of {e data}: everything a
+    sweep needs — the topology grid (sizes, target degrees, working
+    space), an optional mobility regime and loss model, the metric
+    series (protocol names resolved through
+    {!Manet_protocols.Registry}), the paper's stopping rule, the seed
+    and the domain count — as one value with a versioned JSON codec.
+    Every builtin figure ({!Figures.builtins}) is such a value; [manet
+    run] executes arbitrary scenario files; and new workloads (mobility
+    grids, loss grids, any registered protocol) are plain JSON edits,
+    not code.
+
+    The codec is strict: unknown fields, unknown protocols, malformed
+    grids and out-of-range parameters are rejected at parse time with
+    messages naming the offending field — a scenario that parses runs. *)
+
+(** Which clustering election feeds cluster-based series. *)
+type clustering = Lowest_id | Highest_degree
+
+(** One column of {!Manet_backbone.Construction_cost} (the ext-msgs
+    figure); [Total_per_hello] is total messages normalized by the hello
+    count (= n), the paper's O(n) check. *)
+type cost_field = Hello | Clustering_msgs | Ch_hop | Gateway | Total | Total_per_hello
+
+(** One metric series.  [name] overrides the rendered column label
+    (default: the protocol name, or the diagnostic's fixed label);
+    [loss] overrides the scenario-level loss model for that series. *)
+type metric =
+  | Forwards of { protocol : string; name : string option; loss : float option }
+  | Delivery of { protocol : string; name : string option; loss : float option }
+  | Structure_size of { protocol : string; name : string option; clustering : clustering option }
+  | Completion_time of { protocol : string; name : string option }
+  | Cluster_count of { clustering : clustering }
+  | Realized_degree
+  | Mcds_size  (** exact minimum CDS size (small n only — exponential) *)
+  | Mcds_ratio of { protocol : string; name : string option }
+      (** the protocol's structure size over the exact MCDS size *)
+  | Construction_cost of { field : cost_field; name : string option }
+
+type topology = {
+  ns : int list;  (** network sizes, one sweep point each *)
+  degrees : float list;  (** target average degrees, one table each *)
+  width : float;
+  height : float;
+}
+
+type stopping = { min_samples : int; max_samples : int; rel_precision : float }
+(** Section 4's stopping rule: repeat until the 99% CI of every metric
+    is within [rel_precision] of its mean, within the sample bounds. *)
+
+type t = {
+  name : string;
+  description : string;
+  seed : int;
+  domains : int;  (** parallel evaluation domains; excluded from the
+                      resume fingerprint (results are domain-invariant) *)
+  topology : topology;
+  mobility : Metric.perturbation option;
+  loss : float option;  (** default per-reception loss for every
+                            protocol series (each may override) *)
+  stopping : stopping;
+  metrics : metric list;
+}
+
+val version : int
+(** The codec version this build reads and writes (1). *)
+
+(** {1 Grids and configs} *)
+
+val paper_ns : int list
+(** The paper's size grid, 20..100 in steps of 10. *)
+
+val default_stopping : stopping
+(** min 30, max 500, ±5% — the paper's full-precision rule. *)
+
+val quick_stopping : stopping
+(** min 5, max 8, ±50% — the smoke-run rule of [--quick]. *)
+
+val make :
+  ?description:string ->
+  ?seed:int ->
+  ?domains:int ->
+  ?ns:int list ->
+  ?width:float ->
+  ?height:float ->
+  ?mobility:Metric.perturbation ->
+  ?loss:float ->
+  ?stopping:stopping ->
+  name:string ->
+  degrees:float list ->
+  metric list ->
+  t
+(** Programmatic construction with the paper's defaults: seed 42,
+    1 domain, {!paper_ns}, the 100x100 working space, no mobility, no
+    loss, {!default_stopping}.  The result is {e not} validated — run it
+    through {!validate} (the runner does). *)
+
+val quicken : t -> t
+(** The [--quick] transform: seed 7, {!quick_stopping}, and the
+    three-point size grid [20; 60; 100] whenever the scenario uses
+    {!paper_ns} (bespoke grids — e.g. ext-approx's small-n grid — are
+    kept).  Mirrors the historical quick figure configs exactly. *)
+
+(** {1 Validation and compilation} *)
+
+val metric_name : metric -> string
+(** The rendered series label (the CSV/JSON column name). *)
+
+val validate : t -> (unit, string) result
+(** Full strictness: non-empty grids with n >= 2 and positive degrees,
+    positive working space, a sane stopping rule, loss in [0, 1], a sane
+    mobility regime, at least one metric, every protocol registered, and
+    no duplicate series labels.  Messages name the offending field and,
+    for protocols, list the registered names. *)
+
+val compile : t -> Metric.t list
+(** The scenario's series as executable metrics, in order, with the
+    scenario-level loss model applied.
+    @raise Invalid_argument if {!validate} rejects the scenario. *)
+
+(** {1 Versioned JSON codec} *)
+
+val to_json : t -> Json.t
+
+val to_string : t -> string
+(** Canonical pretty form; [of_string (to_string s) = Ok s]. *)
+
+val of_json : Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+(** Strict parse + {!validate}: rejects unknown fields ("scenario:
+    unknown field ..."), a missing or unsupported ["version"], and
+    everything {!validate} rejects. *)

@@ -7,26 +7,40 @@ type point = { n : int; d : float; samples : int; cells : (string * cell) list }
 
 type table = { d : float; metrics : string list; points : point list }
 
+type chunk = float array array
+
 (* Samples are evaluated in fixed-size chunks, each fed by its own
    generator split off up front.  Workers race to evaluate chunks
    speculatively; the stopping rule is applied by a single sequential
    fold over chunks in index order, so the outcome is a pure function of
    the point generator — bit-identical for every domain count.  Chunks
-   evaluated past the stopping sample are simply discarded. *)
+   evaluated past the stopping sample are simply discarded.
+
+   The chunk is also the unit of resumption: [cached] substitutes a
+   previously journaled chunk for its evaluation (the generator splits
+   still happen, so uncached chunks see unchanged streams), and
+   [on_chunk] observes every freshly evaluated chunk the stopping fold
+   actually consumes, in index order, from the calling domain — the
+   streaming journal appends exactly those. *)
 let chunk_size = 8
 
 let run_point ?(z = Confidence.z99) ?(rel_precision = 0.05) ?(min_samples = 30)
-    ?(max_samples = 500) ?(domains = 1) ~rng ~spec metrics =
+    ?(max_samples = 500) ?(domains = 1) ?perturb ?(cached = fun _ -> None)
+    ?(on_chunk = fun _ _ -> ()) ~rng ~spec metrics =
   if min_samples < 2 || max_samples < min_samples then invalid_arg "Sweep.run_point: bad bounds";
   let metric_arr = Array.of_list metrics in
   let n_chunks = (max_samples + chunk_size - 1) / chunk_size in
   let chunk_rngs = Array.init n_chunks (fun _ -> Manet_rng.Rng.split rng) in
   let eval_chunk c =
-    let rng = chunk_rngs.(c) in
-    let len = min chunk_size (max_samples - (c * chunk_size)) in
-    Array.init len (fun _ ->
-        let ctx = Context.draw rng spec in
-        Array.map (fun (m : Metric.t) -> m.eval ctx) metric_arr)
+    match cached c with
+    | Some rows -> (rows, false)
+    | None ->
+      let rng = chunk_rngs.(c) in
+      let len = min chunk_size (max_samples - (c * chunk_size)) in
+      ( Array.init len (fun _ ->
+            let ctx = Metric.draw ?perturb rng spec in
+            Array.map (fun (m : Metric.t) -> m.eval ctx) metric_arr),
+        true )
   in
   let summaries = Array.map (fun _ -> Summary.create ()) metric_arr in
   let precise s =
@@ -43,11 +57,15 @@ let run_point ?(z = Confidence.z99) ?(rel_precision = 0.05) ?(min_samples = 30)
     incr samples
   in
   (* The sequential fold: consume chunks in order, re-checking the
-     stopping rule before each sample exactly as the serial loop did. *)
+     stopping rule before each sample exactly as the serial loop did.
+     Freshly evaluated chunks are reported before their first sample is
+     folded in, so a journal truncated by a crash never misses a chunk
+     that contributed to the summaries. *)
   let fold next_chunk =
     let c = ref 0 in
     while continue () && !c < n_chunks do
-      let rows = next_chunk !c in
+      let rows, fresh = next_chunk !c in
+      if fresh then on_chunk !c rows;
       incr c;
       Array.iter (fun row -> if continue () then add_sample row) rows
     done
@@ -103,17 +121,22 @@ let run_point ?(z = Confidence.z99) ?(rel_precision = 0.05) ?(min_samples = 30)
         metrics;
   }
 
-let run ?z ?rel_precision ?min_samples ?max_samples ?(domains = 1) ?(progress = fun _ -> ())
-    ~rng ~d ~ns metrics =
+let run ?z ?rel_precision ?min_samples ?max_samples ?(domains = 1) ?perturb ?cached ?on_chunk
+    ?(progress = fun _ -> ()) ?width ?height ~rng ~d ~ns metrics =
   (* Generators are split sequentially up front, one per point; each
      point then parallelizes over its own sample chunks, so neither the
      point schedule nor the domain count perturbs the random streams. *)
   let points =
-    List.map
-      (fun n ->
-        let spec = Manet_topology.Spec.make ~n ~avg_degree:d () in
+    List.mapi
+      (fun i n ->
+        let spec = Manet_topology.Spec.make ?width ?height ~n ~avg_degree:d () in
         let rng = Manet_rng.Rng.split rng in
-        let p = run_point ?z ?rel_precision ?min_samples ?max_samples ~domains ~rng ~spec metrics in
+        let cached = Option.map (fun f c -> f ~point:i ~chunk:c) cached in
+        let on_chunk = Option.map (fun f c rows -> f ~point:i ~chunk:c rows) on_chunk in
+        let p =
+          run_point ?z ?rel_precision ?min_samples ?max_samples ~domains ?perturb ?cached
+            ?on_chunk ~rng ~spec metrics
+        in
         progress p;
         p)
       ns

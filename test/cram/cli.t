@@ -142,3 +142,39 @@ replay command:
   1
   $ grep 'replay' repro.ml
      replay   : manet check --seed 42 --cases 2 --proto static-2.5hop!drop-coverage --oracle backbone-connectivity
+
+Every sweep figure is a declarative scenario; `run` lists them with the
+shape each one is expected to show:
+
+  $ manet run --list
+  fig6            Figure 6: average CDS size - static backbone (2.5-hop, 3-hop) vs MO_CDS. Expected: the three curves nearly coincide, static slightly below MO_CDS, 2.5-hop within 2% of 3-hop.
+  fig7            Figure 7: average forward-node-set size per broadcast - dynamic backbone (2.5-hop, 3-hop) vs MO_CDS. Expected: dynamic well below MO_CDS.
+  fig8            Figure 8: forward-node-set size - static vs dynamic backbone (both coverage modes). Expected: dynamic below static, both modes nearly equal.
+  ext-baselines   Extension: forward counts of flooding, Wu-Li, DP, PDP, AHBP, MPR, the forwarding tree, backoff self-pruning, counter-based and passive clustering alongside the paper's backbones (plus the delivery ratios of the probabilistic schemes, which the paper singles out as poor).
+  ext-si-cds      Extension: CDS sizes across the source-independent algorithms - the paper's static backbone, MO_CDS, Wu-Li, spanning-tree CDS and greedy CDS - with the cluster count as the common floor.
+  ext-clustering  Ablation: backbone size and cluster counts under lowest-ID vs highest-connectivity clustering.
+  ext-msgs        Message complexity: transmissions of each distributed construction stage, and the total divided by n (flat when the total is O(n)).
+  ext-delivery    Diagnostic: delivery ratios of the dynamic backbone and the SD baselines (expected at or near 1.0).
+  ext-pruning     Ablation: dynamic backbone under the three pruning levels, against the static backbone as the no-history reference (2.5-hop mode).
+  ext-approx      Approximation ratios |CDS| / |MCDS| on small networks (the exact solver is exponential) for the static backbone (both modes), MO_CDS and greedy CDS.
+
+A builtin runs by name; --quick shrinks the grids and the sample budget
+so the sweep finishes in seconds (progress goes to stderr):
+
+  $ manet run fig6 --quick 2>/dev/null
+  fig6 (d = 6)
+       n  samples      static-2.5hop        static-3hop             mo_cds
+      20        5     11.00 (±3.26)     10.80 (±2.98)     11.00 (±3.26)
+      60        5     35.40 (±2.89)     35.40 (±3.42)     36.40 (±3.70)
+     100        5     60.80 (±2.75)     60.80 (±2.63)     63.20 (±1.89)
+  fig6 (d = 18)
+       n  samples      static-2.5hop        static-3hop             mo_cds
+      20        6      5.17 (±2.44)      5.00 (±2.10)      5.83 (±1.81)
+      60        5     19.00 (±3.64)     20.40 (±3.70)     21.20 (±4.71)
+     100        5     37.80 (±5.37)     38.00 (±5.93)     40.20 (±6.28)
+
+Anything else must be a scenario file on disk:
+
+  $ manet run fig5
+  manet: fig5 is neither a builtin scenario (see manet run --list) nor a file
+  [124]

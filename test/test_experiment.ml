@@ -1,7 +1,8 @@
 module Figures = Manet_experiment.Figures
+module Scenario = Manet_experiment.Scenario
+module Runner = Manet_experiment.Runner
 module Sweep = Manet_experiment.Sweep
 module Metric = Manet_experiment.Metric
-module Context = Manet_experiment.Context
 module Render = Manet_experiment.Render
 module Summary = Manet_stats.Summary
 module Coverage = Manet_coverage.Coverage
@@ -14,15 +15,58 @@ let mean_of point name =
   | Some (c : Sweep.cell) -> Summary.mean c.summary
   | None -> Alcotest.failf "metric %s missing" name
 
-(* Context *)
+(* A builtin figure under the quick configuration, optionally with the
+   test's own (smaller) grids. *)
+let quick_builtin ?ns ?degrees name =
+  let s = Scenario.quicken (Figures.builtin_exn name) in
+  {
+    s with
+    Scenario.topology =
+      {
+        s.Scenario.topology with
+        Scenario.ns = Option.value ns ~default:s.Scenario.topology.Scenario.ns;
+        degrees = Option.value degrees ~default:s.Scenario.topology.Scenario.degrees;
+      };
+  }
 
-let test_context_draw () =
+(* Run a builtin and hand each degree's table to [f]. *)
+let per_degree ?ns ?degrees name f =
+  let s = quick_builtin ?ns ?degrees name in
+  List.iter2 f s.Scenario.topology.Scenario.degrees (Runner.run s)
+
+(* Metric contexts *)
+
+let test_metric_draw () =
   let rng = Manet_rng.Rng.create ~seed:3 in
   let spec = Manet_topology.Spec.make ~n:30 ~avg_degree:6. () in
-  let ctx = Context.draw rng spec in
+  let ctx = Metric.draw rng spec in
   Alcotest.(check bool) "connected" true
-    (Manet_graph.Connectivity.is_connected (Context.graph ctx));
+    (Manet_graph.Connectivity.is_connected ctx.Metric.graph);
   Alcotest.(check bool) "source in range" true (ctx.source >= 0 && ctx.source < 30)
+
+let test_metric_draw_perturbed () =
+  (* A mobility-perturbed draw measures the walked snapshot (same node
+     count, possibly disconnected).  The walk draws from its own split
+     after placement, so a zero-step walk reproduces the unperturbed
+     topology exactly. *)
+  let perturb steps =
+    {
+      Metric.model = Manet_topology.Mobility.Random_waypoint;
+      steps;
+      dt = 1.;
+      speed_min = 5.;
+      speed_max = 5.;
+      pause_time = 0.;
+    }
+  in
+  let spec = Manet_topology.Spec.make ~n:25 ~avg_degree:6. () in
+  let walked = Metric.draw ~perturb:(perturb 10) (Manet_rng.Rng.create ~seed:11) spec in
+  Alcotest.(check int) "all nodes present" 25 (Manet_graph.Graph.n walked.Metric.graph);
+  let frozen = Metric.draw ~perturb:(perturb 0) (Manet_rng.Rng.create ~seed:11) spec in
+  let still = Metric.draw (Manet_rng.Rng.create ~seed:11) spec in
+  Alcotest.(check int) "zero-step walk keeps the placement topology"
+    (Manet_graph.Graph.m still.Metric.graph)
+    (Manet_graph.Graph.m frozen.Metric.graph)
 
 (* Sweep mechanics *)
 
@@ -88,9 +132,7 @@ let test_sweep_stopping_rule () =
 (* Figures: quick-config smoke runs asserting the paper's orderings. *)
 
 let test_fig6_shape () =
-  List.iter
-    (fun d ->
-      let t = Figures.fig6 ~config:quick ~d () in
+  per_degree "fig6" (fun d t ->
       List.iter
         (fun p ->
           let s25 = mean_of p "static-2.5hop" in
@@ -101,13 +143,10 @@ let test_fig6_shape () =
             (Printf.sprintf "d=%g n=%d: static near mo_cds" d p.Sweep.n)
             true
             (s25 <= mo *. 1.15 && s3 <= mo *. 1.15 && s25 >= mo *. 0.6))
-        t.points)
-    [ 6.; 18. ]
+        t.Sweep.points)
 
 let test_fig7_shape () =
-  List.iter
-    (fun d ->
-      let t = Figures.fig7 ~config:quick ~d () in
+  per_degree "fig7" (fun d t ->
       List.iter
         (fun p ->
           let dyn = mean_of p "dynamic-2.5hop" in
@@ -115,59 +154,57 @@ let test_fig7_shape () =
           Alcotest.(check bool)
             (Printf.sprintf "d=%g n=%d: dynamic (%f) <= mo_cds (%f)" d p.Sweep.n dyn mo)
             true (dyn <= mo *. 1.02))
-        t.points)
-    [ 6.; 18. ]
+        t.Sweep.points)
 
 let test_fig8_shape () =
-  let t = Figures.fig8 ~config:quick ~d:18. () in
-  List.iter
-    (fun p ->
-      let stat = mean_of p "static-2.5hop" in
-      let dyn = mean_of p "dynamic-2.5hop" in
-      (* quick config uses very few samples; allow an absolute slack of
-         one forward node to absorb noise at small n *)
-      Alcotest.(check bool)
-        (Printf.sprintf "n=%d dynamic (%f) <= static (%f) + 1" p.Sweep.n dyn stat)
-        true (dyn <= stat +. 1.))
-    t.points
+  per_degree ~degrees:[ 18. ] "fig8" (fun _ t ->
+      List.iter
+        (fun p ->
+          let stat = mean_of p "static-2.5hop" in
+          let dyn = mean_of p "dynamic-2.5hop" in
+          (* quick config uses very few samples; allow an absolute slack of
+             one forward node to absorb noise at small n *)
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d dynamic (%f) <= static (%f) + 1" p.Sweep.n dyn stat)
+            true (dyn <= stat +. 1.))
+        t.Sweep.points)
 
 let test_ext_delivery_perfect () =
-  let t = Figures.ext_delivery ~config:quick ~d:6. () in
-  List.iter
-    (fun p ->
+  per_degree ~degrees:[ 6. ] "ext-delivery" (fun _ t ->
       List.iter
-        (fun (name, (c : Sweep.cell)) ->
-          Alcotest.(check (float 1e-9))
-            (Printf.sprintf "%s delivery at n=%d" name p.Sweep.n)
-            1. (Summary.mean c.summary))
-        p.Sweep.cells)
-    t.points
+        (fun p ->
+          List.iter
+            (fun (name, (c : Sweep.cell)) ->
+              Alcotest.(check (float 1e-9))
+                (Printf.sprintf "%s delivery at n=%d" name p.Sweep.n)
+                1. (Summary.mean c.summary))
+            p.Sweep.cells)
+        t.Sweep.points)
 
 let test_ext_msgs_linear () =
-  let t = Figures.ext_msgs ~config:quick ~d:6. () in
-  List.iter
-    (fun p ->
-      let per_node = mean_of p "total/n" in
-      Alcotest.(check bool)
-        (Printf.sprintf "messages per node (%f) bounded at n=%d" per_node p.Sweep.n)
-        true
-        (per_node >= 2. && per_node <= 6.))
-    t.points
+  per_degree ~degrees:[ 6. ] "ext-msgs" (fun _ t ->
+      List.iter
+        (fun p ->
+          let per_node = mean_of p "total/n" in
+          Alcotest.(check bool)
+            (Printf.sprintf "messages per node (%f) bounded at n=%d" per_node p.Sweep.n)
+            true
+            (per_node >= 2. && per_node <= 6.))
+        t.Sweep.points)
 
 let test_ext_approx_ratios () =
-  let config = { quick with ns = [ 10; 14 ] } in
-  let t = Figures.ext_approx ~config () in
-  List.iter
-    (fun p ->
+  per_degree ~ns:[ 10; 14 ] "ext-approx" (fun _ t ->
       List.iter
-        (fun name ->
-          let r = mean_of p name in
-          Alcotest.(check bool)
-            (Printf.sprintf "%s ratio (%f) sane at n=%d" name r p.Sweep.n)
-            true
-            (r >= 1.0 && r < 12.))
-        [ "static-2.5hop/mcds"; "static-3hop/mcds"; "mo_cds/mcds"; "greedy/mcds" ])
-    t.points
+        (fun p ->
+          List.iter
+            (fun name ->
+              let r = mean_of p name in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s ratio (%f) sane at n=%d" name r p.Sweep.n)
+                true
+                (r >= 1.0 && r < 12.))
+            [ "static-2.5hop/mcds"; "static-3hop/mcds"; "mo_cds/mcds"; "greedy/mcds" ])
+        t.Sweep.points)
 
 let test_ext_mobility () =
   let config = { quick with min_samples = 4; ns = [ 30 ] } in
@@ -217,31 +254,31 @@ let test_ext_maintenance () =
   Alcotest.(check bool) "renders" true (contains (Figures.render_maintenance t) "speed")
 
 let test_ext_clustering () =
-  let t = Figures.ext_clustering ~config:quick ~d:6. () in
-  List.iter
-    (fun p ->
-      let id_size = mean_of p "static-2.5hop" in
-      let deg_size = mean_of p "static-2.5hop/deg" in
-      Alcotest.(check bool)
-        (Printf.sprintf "sizes comparable at n=%d (%.1f vs %.1f)" p.Sweep.n id_size deg_size)
-        true
-        (deg_size <= id_size *. 1.3 && deg_size >= id_size *. 0.5))
-    t.points
+  per_degree ~degrees:[ 6. ] "ext-clustering" (fun _ t ->
+      List.iter
+        (fun p ->
+          let id_size = mean_of p "static-2.5hop" in
+          let deg_size = mean_of p "static-2.5hop/deg" in
+          Alcotest.(check bool)
+            (Printf.sprintf "sizes comparable at n=%d (%.1f vs %.1f)" p.Sweep.n id_size deg_size)
+            true
+            (deg_size <= id_size *. 1.3 && deg_size >= id_size *. 0.5))
+        t.Sweep.points)
 
 let test_ext_si_cds () =
-  let t = Figures.ext_si_cds ~config:quick ~d:6. () in
-  List.iter
-    (fun p ->
-      (* the cluster count is a floor for every cluster-based CDS *)
-      let clusters = mean_of p "clusters" in
+  per_degree ~degrees:[ 6. ] "ext-si-cds" (fun _ t ->
       List.iter
-        (fun name ->
-          Alcotest.(check bool)
-            (Printf.sprintf "%s >= clusters at n=%d" name p.Sweep.n)
-            true
-            (mean_of p name >= clusters -. 1e-9))
-        [ "static-2.5hop"; "mo_cds"; "tree-cds" ])
-    t.points
+        (fun p ->
+          (* the cluster count is a floor for every cluster-based CDS *)
+          let clusters = mean_of p "clusters" in
+          List.iter
+            (fun name ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s >= clusters at n=%d" name p.Sweep.n)
+                true
+                (mean_of p name >= clusters -. 1e-9))
+            [ "static-2.5hop"; "mo_cds"; "tree-cds" ])
+        t.Sweep.points)
 
 let test_ext_reliable () =
   let config = { quick with min_samples = 3 } in
@@ -278,7 +315,11 @@ let test_render_text_and_csv () =
 let () =
   Alcotest.run "experiment"
     [
-      ("context", [ Alcotest.test_case "draw" `Quick test_context_draw ]);
+      ( "metric",
+        [
+          Alcotest.test_case "draw" `Quick test_metric_draw;
+          Alcotest.test_case "perturbed draw" `Quick test_metric_draw_perturbed;
+        ] );
       ( "sweep",
         [
           Alcotest.test_case "shape" `Quick test_sweep_shape;

@@ -1,0 +1,476 @@
+(* The scenario layer: codec strictness, parity of every builtin figure
+   with the historical hand-coded sweeps, and journal-based resume. *)
+
+module Figures = Manet_experiment.Figures
+module Scenario = Manet_experiment.Scenario
+module Runner = Manet_experiment.Runner
+module Journal = Manet_experiment.Journal
+module Json = Manet_experiment.Json
+module Sweep = Manet_experiment.Sweep
+module Metric = Manet_experiment.Metric
+module Summary = Manet_stats.Summary
+module Rng = Manet_rng.Rng
+open Test_helpers
+
+(* JSON substrate *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Error m -> Alcotest.failf "%s: %s" text m
+      | Ok j -> (
+        let printed = Json.print j in
+        match Json.parse printed with
+        | Error m -> Alcotest.failf "reparse %s: %s" printed m
+        | Ok j' -> Alcotest.(check bool) (text ^ " round-trips") true (j = j')))
+    [
+      "null";
+      "true";
+      "[1, 2.5, -3e2, 0.1]";
+      {|{"a": [], "b": {"c": "x\n\"y\"", "d": 1e-9}}|};
+      {|"A\t"|};
+    ]
+
+let test_json_numbers () =
+  (* Floats print shortest-exact: reparsing reproduces the bits. *)
+  List.iter
+    (fun f ->
+      let s = Json.number_to_string f in
+      Alcotest.(check bool)
+        (Printf.sprintf "%h survives as %s" f s)
+        true
+        (float_of_string s = f))
+    [ 0.1; 1. /. 3.; 1e300; -4.2e-7; 123456789.; 2. ]
+
+let test_json_errors () =
+  List.iter
+    (fun (text, fragment) ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "%s unexpectedly parsed" text
+      | Error m ->
+        Alcotest.(check bool) (Printf.sprintf "%s -> %s" text m) true (contains m fragment))
+    [ ("{", "byte"); ("[1,]", "byte"); ("\"ab", "byte"); ("{\"a\" 1}", "byte") ]
+
+(* Scenario codec *)
+
+let test_builtin_roundtrip () =
+  List.iter
+    (fun (name, s) ->
+      match Scenario.of_string (Scenario.to_string s) with
+      | Ok s' -> Alcotest.(check bool) (name ^ " round-trips") true (s = s')
+      | Error m -> Alcotest.failf "%s: %s" name m)
+    Figures.builtins
+
+let test_full_roundtrip () =
+  (* Every optional axis at once: mobility, loss, overrides, domains. *)
+  let s =
+    Scenario.make ~name:"everything" ~description:"all the knobs" ~seed:5 ~domains:3
+      ~ns:[ 20; 40 ] ~width:120. ~height:80.
+      ~mobility:
+        {
+          Metric.model = Manet_topology.Mobility.Random_direction;
+          steps = 4;
+          dt = 0.5;
+          speed_min = 1.;
+          speed_max = 2.;
+          pause_time = 0.25;
+        }
+      ~loss:0.1
+      ~stopping:{ Scenario.min_samples = 3; max_samples = 6; rel_precision = 0.4 }
+      ~degrees:[ 6.; 9. ]
+      [
+        Scenario.Forwards { protocol = "flooding"; name = Some "flood"; loss = Some 0.2 };
+        Scenario.Delivery { protocol = "mpr"; name = None; loss = None };
+        Scenario.Structure_size
+          { protocol = "static-2.5hop"; name = None; clustering = Some Scenario.Highest_degree };
+        Scenario.Completion_time { protocol = "dp"; name = None };
+        Scenario.Cluster_count { clustering = Scenario.Highest_degree };
+        Scenario.Realized_degree;
+        Scenario.Mcds_size;
+        Scenario.Mcds_ratio { protocol = "greedy-cds"; name = None };
+        Scenario.Construction_cost { field = Scenario.Total_per_hello; name = None };
+      ]
+  in
+  (match Scenario.validate s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "validate: %s" m);
+  match Scenario.of_string (Scenario.to_string s) with
+  | Ok s' -> Alcotest.(check bool) "round-trips" true (s = s')
+  | Error m -> Alcotest.fail m
+
+let base_json =
+  {|{"version": 1, "name": "t", "seed": 1, "domains": 1,
+     "topology": {"n": [20], "degree": [6]},
+     "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+     "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+
+let rejects text fragment =
+  match Scenario.of_string text with
+  | Ok _ -> Alcotest.failf "unexpectedly accepted (wanted %S)" fragment
+  | Error m ->
+    Alcotest.(check bool) (Printf.sprintf "message %S mentions %S" m fragment) true
+      (contains m fragment)
+
+let test_base_accepted () =
+  match Scenario.of_string base_json with
+  | Ok s -> Alcotest.(check string) "name" "t" s.Scenario.name
+  | Error m -> Alcotest.fail m
+
+let test_unknown_field () =
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1, "bogus": 3,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    {|unknown field "bogus"|};
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6], "radius": 9},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    {|unknown field "radius"|};
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding", "clustering": "lowest-id"}]}|}
+    {|unknown field "clustering"|}
+
+let test_unknown_protocol () =
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "warp-drive"}]}|}
+    {|unknown protocol "warp-drive"|};
+  (* the rejection lists what is registered *)
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "warp-drive"}]}|}
+    "flooding"
+
+let test_bad_grids () =
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [1, 20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    "every size must be >= 2";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": []},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    "at least one target degree";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 5, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    "must be >= stopping.min_samples";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"},
+                   {"kind": "forwards", "protocol": "flooding"}]}|}
+    "duplicate series label";
+  rejects
+    {|{"version": 2, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    "unsupported version 2";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]}, "loss": 1.5,
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
+    "outside [0, 1]";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "telepathy", "protocol": "flooding"}]}|}
+    {|unknown metric kind "telepathy"|}
+
+(* Parity: every builtin figure, compiled from its scenario and run by
+   the Runner, reproduces bit-identically the table the historical
+   hand-coded sweep produced under the quick configuration.  The legacy
+   metric lists are inlined here verbatim — they are the contract. *)
+
+let same_table name (expected : Sweep.table) (actual : Sweep.table) =
+  Alcotest.(check (float 0.)) (name ^ ": d") expected.d actual.d;
+  Alcotest.(check (list string)) (name ^ ": metrics") expected.metrics actual.metrics;
+  Alcotest.(check int) (name ^ ": points") (List.length expected.points)
+    (List.length actual.points);
+  List.iter2
+    (fun (pe : Sweep.point) (pa : Sweep.point) ->
+      Alcotest.(check int) (Printf.sprintf "%s n=%d: n" name pe.n) pe.n pa.n;
+      Alcotest.(check int) (Printf.sprintf "%s n=%d: samples" name pe.n) pe.samples pa.samples;
+      List.iter2
+        (fun (ne, (ce : Sweep.cell)) (na, (ca : Sweep.cell)) ->
+          Alcotest.(check string) (name ^ ": cell name") ne na;
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s n=%d %s: mean" name pe.n ne)
+            (Summary.mean ce.summary) (Summary.mean ca.summary);
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s n=%d %s: variance" name pe.n ne)
+            (Summary.variance ce.summary) (Summary.variance ca.summary);
+          Alcotest.(check bool) (name ^ ": converged") ce.converged ca.converged)
+        pe.cells pa.cells)
+    expected.points actual.points
+
+let check_parity name legacy_metrics =
+  let s = Scenario.quicken (Figures.builtin_exn name) in
+  let tables = Runner.run s in
+  List.iter2
+    (fun d actual ->
+      let expected =
+        Sweep.run ~rel_precision:s.Scenario.stopping.Scenario.rel_precision
+          ~min_samples:s.Scenario.stopping.Scenario.min_samples
+          ~max_samples:s.Scenario.stopping.Scenario.max_samples
+          ~rng:(Rng.create ~seed:s.Scenario.seed) ~d ~ns:s.Scenario.topology.Scenario.ns
+          legacy_metrics
+      in
+      same_table name expected actual)
+    s.Scenario.topology.Scenario.degrees tables
+
+let mcds_of ctx =
+  float_of_int (Manet_graph.Nodeset.cardinal (Manet_mcds.Exact.build ctx.Metric.graph))
+
+let cost name pick =
+  {
+    Metric.name;
+    eval =
+      (fun ctx ->
+        let c, _ =
+          Manet_backbone.Construction_cost.measure ctx.Metric.graph
+            Manet_coverage.Coverage.Hop25
+        in
+        pick c);
+  }
+
+let legacy =
+  [
+    ( "fig6",
+      [
+        Metric.structure_size "static-2.5hop";
+        Metric.structure_size "static-3hop";
+        Metric.structure_size "mo_cds";
+      ] );
+    ( "fig7",
+      [ Metric.forwards "dynamic-2.5hop"; Metric.forwards "dynamic-3hop"; Metric.forwards "mo_cds" ]
+    );
+    ( "fig8",
+      [
+        Metric.forwards "static-2.5hop";
+        Metric.forwards "static-3hop";
+        Metric.forwards "dynamic-2.5hop";
+        Metric.forwards "dynamic-3hop";
+      ] );
+    ( "ext-baselines",
+      [
+        Metric.forwards "flooding";
+        Metric.forwards "wu-li";
+        Metric.forwards "dp";
+        Metric.forwards "pdp";
+        Metric.forwards "ahbp";
+        Metric.forwards "mpr";
+        Metric.forwards "fwd-tree";
+        Metric.forwards "self-pruning";
+        Metric.forwards "counter";
+        Metric.delivery ~name:"counter-delivery" "counter";
+        Metric.forwards "passive";
+        Metric.delivery ~name:"passive-delivery" "passive";
+        Metric.forwards "static-2.5hop";
+        Metric.forwards "dynamic-2.5hop";
+      ] );
+    ( "ext-si-cds",
+      [
+        Metric.structure_size "static-2.5hop";
+        Metric.structure_size "mo_cds";
+        Metric.structure_size "wu-li";
+        Metric.structure_size "tree-cds";
+        Metric.structure_size "greedy-cds";
+        Metric.cluster_count;
+      ] );
+    ( "ext-clustering",
+      [
+        Metric.structure_size "static-2.5hop";
+        Metric.structure_size ~name:"static-2.5hop/deg"
+          ~clustering:Manet_cluster.Highest_degree.cluster "static-2.5hop";
+        Metric.cluster_count;
+        Metric.cluster_count_highest_degree;
+      ] );
+    ( "ext-msgs",
+      [
+        cost "hello" (fun c -> float_of_int c.Manet_backbone.Construction_cost.hello);
+        cost "clustering" (fun c -> float_of_int c.Manet_backbone.Construction_cost.clustering);
+        cost "ch_hop" (fun c -> float_of_int c.Manet_backbone.Construction_cost.ch_hop);
+        cost "gateway" (fun c -> float_of_int c.Manet_backbone.Construction_cost.gateway);
+        cost "total" (fun c -> float_of_int c.Manet_backbone.Construction_cost.total);
+        cost "total/n" (fun c ->
+            float_of_int c.Manet_backbone.Construction_cost.total
+            /. float_of_int c.Manet_backbone.Construction_cost.hello);
+      ] );
+    ( "ext-delivery",
+      [
+        Metric.delivery ~name:"delivery-2.5hop" "dynamic-2.5hop";
+        Metric.delivery ~name:"delivery-3hop" "dynamic-3hop";
+        Metric.delivery "dp";
+        Metric.delivery "pdp";
+        Metric.delivery "mpr";
+      ] );
+    ( "ext-pruning",
+      [
+        Metric.forwards "static-2.5hop";
+        Metric.forwards "dynamic-2.5hop/sender";
+        Metric.forwards "dynamic-2.5hop/coverage";
+        Metric.forwards "dynamic-2.5hop";
+      ] );
+    ( "ext-approx",
+      [
+        { Metric.name = "mcds"; eval = mcds_of };
+        (let size = Metric.structure_size "static-2.5hop" in
+         { Metric.name = "static-2.5hop/mcds"; eval = (fun ctx -> size.eval ctx /. mcds_of ctx) });
+        (let size = Metric.structure_size "static-3hop" in
+         { Metric.name = "static-3hop/mcds"; eval = (fun ctx -> size.eval ctx /. mcds_of ctx) });
+        (let size = Metric.structure_size "mo_cds" in
+         { Metric.name = "mo_cds/mcds"; eval = (fun ctx -> size.eval ctx /. mcds_of ctx) });
+        (let size = Metric.structure_size "greedy-cds" in
+         { Metric.name = "greedy/mcds"; eval = (fun ctx -> size.eval ctx /. mcds_of ctx) });
+      ] );
+  ]
+
+let test_every_builtin_has_parity_coverage () =
+  Alcotest.(check (list string))
+    "every builtin appears in the parity suite" (List.map fst Figures.builtins)
+    (List.map fst legacy)
+
+let parity_cases =
+  List.map
+    (fun (name, metrics) ->
+      Alcotest.test_case name `Slow (fun () -> check_parity name metrics))
+    legacy
+
+(* Resume: the journal makes a killed sweep continue bit-identically. *)
+
+let resume_scenario ?(domains = 1) () =
+  (* rel_precision tight enough that every point runs to max_samples:
+     24 samples = 3 chunks per point, two points. *)
+  Scenario.make ~name:"resume-test" ~seed:13 ~domains ~ns:[ 20; 30 ] ~degrees:[ 6. ]
+    ~stopping:{ Scenario.min_samples = 12; max_samples = 24; rel_precision = 0.0001 }
+    [
+      Scenario.Cluster_count { clustering = Scenario.Lowest_id };
+      Scenario.Forwards { protocol = "flooding"; name = None; loss = None };
+    ]
+
+let with_temp f =
+  let path = Filename.temp_file "manet-journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let journal_lines path = String.split_on_char '\n' (read_file path)
+
+let test_journal_records_run () =
+  with_temp (fun path ->
+      let s = resume_scenario () in
+      let tables = Runner.run ~journal:path s in
+      (match Journal.load ~path with
+      | Error m -> Alcotest.fail m
+      | Ok (recorded, entries) ->
+        Alcotest.(check bool) "scenario recorded" true (Journal.matches recorded s);
+        (* 2 points x 3 chunks, all consumed (nothing converges early) *)
+        Alcotest.(check int) "entries" 6 (List.length entries));
+      (* A finished journal replays with zero evaluation. *)
+      let replayed = Runner.run ~journal:path ~resume:true s in
+      List.iter2 (same_table "replay") tables replayed)
+
+let test_resume_after_truncation () =
+  with_temp (fun path ->
+      let s = resume_scenario () in
+      let full = Runner.run ~journal:path s in
+      let lines = journal_lines path in
+      (* Keep the header and the first 3 chunk entries, then simulate a
+         crash mid-append: a trailing half-written line without '\n'. *)
+      let kept = List.filteri (fun i _ -> i < 4) lines in
+      write_file path (String.concat "\n" kept ^ "\n" ^ {|{"degree": 0, "poi|});
+      let resumed = Runner.run ~journal:path ~resume:true s in
+      List.iter2 (same_table "truncated resume") full resumed;
+      (* After the resume the journal is complete again. *)
+      match Journal.load ~path with
+      | Error m -> Alcotest.fail m
+      | Ok (_, entries) -> Alcotest.(check int) "entries restored" 6 (List.length entries))
+
+let test_resume_with_domains () =
+  with_temp (fun path ->
+      let serial = Runner.run (resume_scenario ()) in
+      let _ = Runner.run ~journal:path (resume_scenario ()) in
+      let lines = journal_lines path in
+      write_file path (String.concat "\n" (List.filteri (fun i _ -> i < 3) lines) ^ "\n");
+      (* Resume on 3 domains from a 1-domain journal: same tables. *)
+      let resumed = Runner.run ~journal:path ~resume:true (resume_scenario ~domains:3 ()) in
+      List.iter2 (same_table "parallel resume") serial resumed)
+
+let test_resume_scenario_mismatch () =
+  with_temp (fun path ->
+      let s = resume_scenario () in
+      let _ = Runner.run ~journal:path s in
+      let other = { s with Scenario.seed = 99 } in
+      match Runner.run ~journal:path ~resume:true other with
+      | _ -> Alcotest.fail "mismatched journal accepted"
+      | exception Failure m ->
+        Alcotest.(check bool) ("message: " ^ m) true (contains m "different scenario"))
+
+let test_resume_missing_journal_is_fresh () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let s = resume_scenario () in
+      let fresh = Runner.run ~journal:path ~resume:true s in
+      let again = Runner.run s in
+      List.iter2 (same_table "fresh under --resume") again fresh)
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers exact" `Quick test_json_numbers;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "builtins round-trip" `Quick test_builtin_roundtrip;
+          Alcotest.test_case "full scenario round-trips" `Quick test_full_roundtrip;
+          Alcotest.test_case "base accepted" `Quick test_base_accepted;
+          Alcotest.test_case "unknown fields rejected" `Quick test_unknown_field;
+          Alcotest.test_case "unknown protocol rejected" `Quick test_unknown_protocol;
+          Alcotest.test_case "bad grids rejected" `Quick test_bad_grids;
+        ] );
+      ( "parity",
+        Alcotest.test_case "coverage" `Quick test_every_builtin_has_parity_coverage
+        :: parity_cases );
+      ( "resume",
+        [
+          Alcotest.test_case "journal records a run" `Quick test_journal_records_run;
+          Alcotest.test_case "resume after truncation" `Quick test_resume_after_truncation;
+          Alcotest.test_case "resume on more domains" `Quick test_resume_with_domains;
+          Alcotest.test_case "scenario mismatch" `Quick test_resume_scenario_mismatch;
+          Alcotest.test_case "missing journal" `Quick test_resume_missing_journal_is_fresh;
+        ] );
+    ]
