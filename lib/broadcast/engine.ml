@@ -3,6 +3,8 @@ module Nodeset = Manet_graph.Nodeset
 
 let never_drop () = false
 
+let never_down ~time:_ ~node:_ = false
+
 (* Reusable per-worker scratch for {!run_core}.  A broadcast needs two
    per-node maps (delivered/transmitted), a pending-reception priority
    queue and a transmission timeline; the arena keeps all of them alive
@@ -163,7 +165,7 @@ let rec bits_for b n = if 1 lsl b >= n then b else bits_for (b + 1) n
    private fresh arena when the caller's is already mid-run (a nested
    broadcast from inside [decide]); either way the results are the
    same. *)
-let run_core ?(drop = never_drop) ?arena g ~source ~initial ~decide =
+let run_core ?(drop = never_drop) ?(down = never_down) ?arena g ~source ~initial ~decide =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Engine.run: source out of range";
   let a =
@@ -201,7 +203,10 @@ let run_core ?(drop = never_drop) ?arena g ~source ~initial ~decide =
     let time = a.heap_hi.(0) and key = a.heap_lo.(0) in
     let payload = a.heap_pay.(0) in
     heap_pop_root a;
-    if not (drop ()) then begin
+    (* A failed node neither receives nor (therefore) forwards; the
+       [down] guard sits after [drop] so the loss stream is identical
+       with and without failures. *)
+    if not (drop ()) && not (down ~time ~node:(key lsr shift)) then begin
       let receiver = key lsr shift in
       if Array.unsafe_get delivered receiver <> tick then begin
         Array.unsafe_set delivered receiver tick;

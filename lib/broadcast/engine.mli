@@ -75,6 +75,7 @@ val run_traced :
 
 val run_core :
   ?drop:(unit -> bool) ->
+  ?down:(time:int -> node:int -> bool) ->
   ?arena:Arena.t ->
   Manet_graph.Graph.t ->
   source:int ->
@@ -88,6 +89,15 @@ val run_core :
     exactly {!run_traced}.  {!Lossy} and [Protocol] pass a closure that
     draws from their generator, so one code path serves the perfect and
     the failure-injection engines.
+
+    [down ~time ~node] injects {e node} failures on the same loop: a
+    node down at a reception's delivery time neither receives nor
+    (since receive and forward share the event) transmits, so a kill
+    silences the node for as long as the predicate holds.  Evaluated
+    after [drop], so enabling failures never perturbs the loss
+    stream.  Defaults to no node ever being down.  The source's initial
+    time-0 transmission is unconditional — failing the source is
+    indistinguishable from not broadcasting.
 
     [arena] supplies the run's scratch storage, reset by a generation
     bump instead of reallocation; it defaults to the calling domain's

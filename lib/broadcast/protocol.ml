@@ -14,9 +14,10 @@ type env = {
   clustering : Manet_cluster.Clustering.t Lazy.t;
   rng : Rng.t;
   arena : Engine.Arena.t;
+  mutable down : (time:int -> node:int -> bool) option;
 }
 
-let make_env ?clustering ?rng ?arena graph =
+let make_env ?clustering ?rng ?arena ?down graph =
   let clustering =
     match clustering with
     | Some c -> c
@@ -24,7 +25,7 @@ let make_env ?clustering ?rng ?arena graph =
   in
   let rng = match rng with Some r -> r | None -> Rng.create ~seed:0 in
   let arena = match arena with Some a -> a | None -> Engine.Arena.get () in
-  { graph; clustering; rng; arena }
+  { graph; clustering; rng; arena; down }
 
 type mode = Perfect | Lossy of float
 
@@ -45,14 +46,15 @@ type t = {
    drop closure never draws from the generator (see [Lossy.run]), so
    loss 0 is bit-identical to [Perfect]. *)
 let run_decide env ~source ~mode ~initial ~decide =
+  let down = env.down in
   match mode with
-  | Perfect -> Engine.run_core ~arena:env.arena env.graph ~source ~initial ~decide
+  | Perfect -> Engine.run_core ?down ~arena:env.arena env.graph ~source ~initial ~decide
   | Lossy loss ->
     if loss < 0. || loss > 1. then invalid_arg "Protocol.run: loss must be within [0, 1]";
     let rng = env.rng in
     Engine.run_core
       ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss)
-      ~arena:env.arena env.graph ~source ~initial ~decide
+      ?down ~arena:env.arena env.graph ~source ~initial ~decide
 
 let si_decide members ~node ~from:_ ~payload:() =
   if Nodeset.mem node members then Some () else None
@@ -85,13 +87,17 @@ let per_broadcast ~name ~description ~family run =
   }
 
 let frozen_lossy env ~run ~source ~mode =
-  match mode with
-  | Perfect -> run ~source
-  | Lossy loss when loss = 0. ->
-    (* No reception can drop: keep the native event loop so loss 0 is
-       bit-identical to [Perfect], like everywhere else. *)
+  match (mode, env.down) with
+  | (Perfect | Lossy 0.), None ->
+    (* No reception can drop and no node can fail: keep the native
+       event loop, so loss 0 is bit-identical to [Perfect], like
+       everywhere else. *)
     run ~source
-  | Lossy _ ->
+  | _ ->
+    (* Freeze the forward set from a failure-free, loss-free native
+       run, then replay it through the uniform pipeline where loss and
+       node failures live: the designations are decided cleanly, only
+       the data propagation is unreliable. *)
     let frozen, _ = run ~source in
     let fwd = frozen.Result.forwarders in
     run_decide env ~source ~mode ~initial:() ~decide:(si_decide fwd)

@@ -48,18 +48,26 @@ type env = {
   clustering : Manet_cluster.Clustering.t Lazy.t;
   rng : Manet_rng.Rng.t;
   arena : Engine.Arena.t;
+  mutable down : (time:int -> node:int -> bool) option;
+      (** the node-failure schedule ({!Engine.run_core}'s [down]),
+          threaded through every broadcast of the uniform pipeline;
+          [None] (the default) means no node ever fails.  Mutable
+          because failure experiments pick their victims from the
+          {e prepared} structure: prepare first, then install the
+          schedule, then run. *)
 }
 
 val make_env :
   ?clustering:Manet_cluster.Clustering.t Lazy.t ->
   ?rng:Manet_rng.Rng.t ->
   ?arena:Engine.Arena.t ->
+  ?down:(time:int -> node:int -> bool) ->
   Manet_graph.Graph.t ->
   env
 (** [clustering] defaults to (lazily) lowest-ID clustering of the graph;
     [rng] defaults to a fresh seed-0 generator; [arena] defaults to the
     calling domain's arena ({!Engine.Arena.get}) — results never depend
-    on the choice. *)
+    on the choice.  [down] defaults to no failures. *)
 
 (** How one broadcast is executed. *)
 type mode =
@@ -126,6 +134,9 @@ val run_decide :
     [decide] protocol under the requested mode.  [Perfect] is exactly
     {!Engine.run_traced}; [Lossy loss] drops each reception with
     probability [loss] drawn from [env.rng], exactly like {!Lossy.run}.
+    Either way, the environment's [down] schedule is injected into the
+    engine, so node failures reach every decide-style protocol under
+    both engines through this one funnel.
     @raise Invalid_argument if a [Lossy] loss is outside [\[0, 1\]]. *)
 
 val frozen_lossy :
@@ -134,14 +145,15 @@ val frozen_lossy :
   source:int ->
   mode:mode ->
   Result.t * (int * int) list
-(** For protocols whose native event loop has no loss semantics (the
-    dynamic backbone's designation signals, the backoff schemes'
-    timers): under [Perfect] or [Lossy 0.], just [run]; under [Lossy], freeze the
-    forward set from a loss-free [run], then replay it as an SI-CDS
-    broadcast under loss — the designations are decided loss-free, only
-    the data propagation is unreliable.  This is the sparsest-case
-    treatment the lossy-links experiment has always used for the
-    dynamic backbone. *)
+(** For protocols whose native event loop has no loss or failure
+    semantics (the dynamic backbone's designation signals, the backoff
+    schemes' timers): under [Perfect] or [Lossy 0.] with no [down]
+    schedule, just [run]; otherwise freeze the forward set from a
+    clean native [run], then replay it as an SI-CDS broadcast through
+    the uniform pipeline — the designations are decided loss- and
+    failure-free, only the data propagation is unreliable.  This is
+    the sparsest-case treatment the lossy-links experiment has always
+    used for the dynamic backbone, extended to node failures. *)
 
 val delivery_ratio : t -> env -> loss:float -> source:int -> float
 (** [delivery_ratio p env ~loss ~source]: prepare [p] and run one

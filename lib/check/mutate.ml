@@ -2,6 +2,7 @@ module Nodeset = Manet_graph.Nodeset
 module Clustering = Manet_cluster.Clustering
 module Coverage = Manet_coverage.Coverage
 module Gateway_selection = Manet_backbone.Gateway_selection
+module Static_backbone = Manet_backbone.Static_backbone
 module Protocol = Manet_broadcast.Protocol
 
 let drop_coverage_entry =
@@ -30,4 +31,51 @@ let drop_coverage_entry =
       in
       Nodeset.union (Clustering.head_set cl) gateways)
 
-let all = [ drop_coverage_entry ]
+(* The genuine k2m2 construction, for seeding faults into. *)
+let kmcds_members ~k ~m env =
+  let g = env.Protocol.graph in
+  let clustering = Lazy.force env.Protocol.clustering in
+  let base = (Static_backbone.build ~clustering g Coverage.Hop25).Static_backbone.members in
+  Manet_mcds.Kmcds.augment g ~base ~k ~m
+
+let drop_connector =
+  Protocol.si ~name:"kmcds-k2m2!drop-connector"
+    ~description:
+      "MUTANT: the k=2 m=2 backbone minus one node the biconnectivity pass added (harness \
+       self-test; expected to fail k-connectivity and failure-delivery)"
+    ~build:(fun env ->
+      let full = kmcds_members ~k:2 ~m:2 env in
+      let without_biconnect = kmcds_members ~k:1 ~m:2 env in
+      match Nodeset.max_elt_opt (Nodeset.diff full without_biconnect) with
+      | Some redundant -> Nodeset.remove redundant full
+      | None -> full)
+
+let under_dominate =
+  Protocol.si ~name:"kmcds-k2m2!under-dominate"
+    ~description:
+      "MUTANT: the k=2 m=2 backbone minus a member that some outside node needs for its \
+       second dominator (harness self-test; expected to fail m-domination)"
+    ~build:(fun env ->
+      let g = env.Protocol.graph in
+      let full = kmcds_members ~k:2 ~m:2 env in
+      let member_neighbors u =
+        Manet_graph.Graph.fold_neighbors g u
+          (fun acc w -> if Nodeset.mem w full then Nodeset.add w acc else acc)
+          Nodeset.empty
+      in
+      (* A node dominated exactly min(m, deg) = 2 times: dropping either
+         dominator leaves it under-dominated. *)
+      let rec find u =
+        if u >= Manet_graph.Graph.n g then None
+        else if Nodeset.mem u full then find (u + 1)
+        else
+          let doms = member_neighbors u in
+          if Nodeset.cardinal doms = 2 && Manet_graph.Graph.degree g u >= 2 then
+            Nodeset.max_elt_opt doms
+          else find (u + 1)
+      in
+      match find 0 with
+      | Some dominator -> Nodeset.remove dominator full
+      | None -> full)
+
+let all = [ drop_coverage_entry; drop_connector; under_dominate ]

@@ -17,4 +17,17 @@ val drop_coverage_entry : Manet_broadcast.Protocol.t
     its coverage set — the classic one-entry-short gateway-selection bug
     that leaves the backbone disconnected on sparse shapes. *)
 
+val drop_connector : Manet_broadcast.Protocol.t
+(** [kmcds-k2m2!drop-connector]: the k=2 m=2 backbone with one node the
+    biconnectivity pass added removed again — a single-point-of-failure
+    bug the [k-connectivity] and [failure-delivery] oracles exist to
+    catch.  A no-op (identical to the genuine scheme) on graphs where
+    the m-dominating connected base is already biconnected. *)
+
+val under_dominate : Manet_broadcast.Protocol.t
+(** [kmcds-k2m2!under-dominate]: the k=2 m=2 backbone minus one member
+    that an outside node needs for its second dominator — the
+    redundant-coverage bug the [m-domination] oracle exists to catch.
+    A no-op when every outside node is slack-dominated. *)
+
 val all : Manet_broadcast.Protocol.t list

@@ -374,6 +374,132 @@ let check_arena_reuse ctx (p : Protocol.t) =
   else Pass
 
 (* ------------------------------------------------------------------ *)
+(* Fault-tolerance oracles (the kmcds family's contracts)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Only the k-connected m-dominating family claims these contracts; the
+   (k, m) parameters are recovered from the protocol name, so the
+   harness's own kmcds mutants are held to the same contracts as the
+   genuine schemes. *)
+let with_kmcds ctx (p : Protocol.t) f =
+  match Manet_mcds.Kmcds.params_of_name p.Protocol.name with
+  | None -> Skip "no k-redundancy contract (not a kmcds protocol)"
+  | Some (k, m) -> (
+    match (built ctx p).Protocol.members with
+    | None -> Skip "no materialized structure"
+    | Some members -> f ~k ~m members)
+
+(* k-vertex-connectivity of the backbone: for k = 2, removing any single
+   member whose loss keeps the graph connected must leave the remaining
+   members induced-connected (graph cut vertices are excluded — no
+   backbone can beat the topology). *)
+let check_k_connectivity ctx (p : Protocol.t) =
+  with_kmcds ctx p @@ fun ~k ~m:_ members ->
+  let g = ctx.case.Case.graph in
+  if not (Connectivity.is_connected_subset g members) then
+    failf "%s: backbone %a is not even 1-connected" p.Protocol.name Nodeset.pp members
+  else if k < 2 then Pass
+  else
+    match
+      Nodeset.fold
+        (fun v acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if
+              Connectivity.is_connected_without g ~v
+              && not (Connectivity.is_connected_subset g (Nodeset.remove v members))
+            then Some v
+            else None)
+        members None
+    with
+    | None -> Pass
+    | Some v ->
+      failf "%s: removing backbone node %d (not a cut vertex of the graph) disconnects %a"
+        p.Protocol.name v Nodeset.pp (Nodeset.remove v members)
+
+(* m-domination of non-backbone nodes: every outside node must see
+   min(m, deg) members among its neighbors. *)
+let check_m_domination ctx (p : Protocol.t) =
+  with_kmcds ctx p @@ fun ~k:_ ~m members ->
+  let g = ctx.case.Case.graph in
+  let violating u =
+    (not (Nodeset.mem u members))
+    &&
+    let need = min m (Graph.degree g u) in
+    Graph.fold_neighbors g u (fun acc w -> if Nodeset.mem w members then acc + 1 else acc) 0 < need
+  in
+  let rec scan u = if u >= Graph.n g then Pass
+    else if violating u then
+      failf "%s: node %d has fewer than min(%d, deg) backbone neighbors in %a" p.Protocol.name u
+        m Nodeset.pp members
+    else scan (u + 1)
+  in
+  scan 0
+
+(* Delivery under f failures, f < k: for the k = 2 schemes, kill each
+   single backbone node in turn (when the residual graph stays
+   connected) and demand that the broadcast still reaches every node
+   expected to be reachable — with m >= 2 that is every surviving node,
+   the acceptance claim of the family. *)
+let check_failure_delivery ctx (p : Protocol.t) =
+  with_kmcds ctx p @@ fun ~k ~m members ->
+  if k < 2 then Skip "k = 1 claims no failure tolerance"
+  else begin
+    let g = ctx.case.Case.graph and source = ctx.case.Case.source in
+    let env =
+      Protocol.make_env ~clustering:ctx.clustering
+        ~rng:(Case.case_rng ctx.case ~salt:("fail:" ^ p.Protocol.name))
+        g
+    in
+    let b = p.Protocol.prepare env in
+    let in_residual_backbone ~v u =
+      Nodeset.mem u (Nodeset.remove v members)
+      || Graph.fold_neighbors g u
+           (fun acc w -> acc || (w <> v && Nodeset.mem w members))
+           false
+    in
+    let expected_delivered ~v u =
+      (* With m >= 2 every survivor keeps a backbone neighbor; with
+         m = 1 only nodes still adjacent to (or inside) the residual
+         backbone are promised the packet. *)
+      u <> v
+      && (m >= 2 || u = source || in_residual_backbone ~v u)
+    in
+    let victims = Nodeset.remove source members in
+    let verdict =
+      Nodeset.fold
+        (fun v acc ->
+          match acc with
+          | Fail _ -> acc
+          | _ when not (Connectivity.is_connected_without g ~v) -> acc
+          | _ when m < 2 && not (in_residual_backbone ~v source) ->
+            (* With m = 1 the victim may have been the source's only way
+               into the backbone; nothing past the source's own
+               neighborhood is promised then. *)
+            acc
+          | _ ->
+            env.Protocol.down <- Some (fun ~time:_ ~node -> node = v);
+            let r, _ = b.Protocol.run ~source ~mode:Protocol.Perfect in
+            if r.Result.delivered.(v) then
+              failf "%s: killed node %d still marked delivered" p.Protocol.name v
+            else (
+              match
+                Array.to_list
+                  (Array.mapi (fun u d -> (u, d)) r.Result.delivered)
+                |> List.find_opt (fun (u, d) -> (not d) && expected_delivered ~v u)
+              with
+              | Some (u, _) ->
+                failf "%s: killing backbone node %d (graph stays connected) lost node %d"
+                  p.Protocol.name v u
+              | None -> acc))
+        victims Pass
+    in
+    env.Protocol.down <- None;
+    verdict
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Catalog                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,6 +558,26 @@ let all =
         "broadcasts are bit-identical on a fresh, the domain's, and a dirty reused engine \
          arena, under perfect and lossy engines";
       check = Per_protocol check_arena_reuse;
+    };
+    {
+      name = "k-connectivity";
+      description =
+        "a kmcds backbone survives any single member removal that is not a graph cut vertex \
+         with its induced subgraph connected (k = 2)";
+      check = Per_protocol check_k_connectivity;
+    };
+    {
+      name = "m-domination";
+      description =
+        "every non-backbone node of a kmcds scheme has min(m, degree) backbone neighbors";
+      check = Per_protocol check_m_domination;
+    };
+    {
+      name = "failure-delivery";
+      description =
+        "killing any single backbone node of a k=2 scheme (graph staying connected) still \
+         delivers to every surviving node promised the packet";
+      check = Per_protocol check_failure_delivery;
     };
   ]
 

@@ -1,0 +1,93 @@
+module Graph = Manet_graph.Graph
+module Point = Manet_geom.Point
+
+(* Mobility history: accumulated displacement per node, observed
+   snapshot by snapshot.  The score is the average displacement per
+   observation — low means stable, exactly the quantity Ramalakshmi and
+   Radhakrishnan's stability-aware CDS (arXiv:1204.2041) prefers in its
+   clusterheads. *)
+type history = {
+  mutable last : Point.t array;
+  displacement : float array;
+  mutable observations : int;
+}
+
+let create points =
+  {
+    last = Array.copy points;
+    displacement = Array.make (Array.length points) 0.;
+    observations = 0;
+  }
+
+let observe h points =
+  if Array.length points <> Array.length h.last then
+    invalid_arg "Stability.observe: node count changed";
+  Array.iteri (fun v p -> h.displacement.(v) <- h.displacement.(v) +. Point.dist h.last.(v) p) points;
+  h.last <- Array.copy points;
+  h.observations <- h.observations + 1
+
+let scores h =
+  if h.observations = 0 then Array.make (Array.length h.last) 0.
+  else Array.map (fun d -> d /. float_of_int h.observations) h.displacement
+
+(* Clusterhead election weighted by stability: same synchronous
+   declare/join fixpoint as {!Lowest_id} and {!Highest_degree}, but a
+   candidate wins over a neighbor when it has the lower mobility score,
+   then the higher degree, then the lower id.  With no history (all
+   scores zero) the election degenerates to highest-connectivity
+   clustering — the degree term is the static half of the combined
+   weight in the source algorithm. *)
+let cluster ?scores g =
+  let n = Graph.n g in
+  let score =
+    match scores with
+    | None -> fun _ -> 0.
+    | Some s ->
+      if Array.length s <> n then invalid_arg "Stability.cluster: scores length <> n";
+      fun v -> s.(v)
+  in
+  let beats u v =
+    let su = score u and sv = score v in
+    if su <> sv then su < sv
+    else
+      let du = Graph.degree g u and dv = Graph.degree g v in
+      if du <> dv then du > dv else u < v
+  in
+  let head = Array.make n (-1) in
+  let is_candidate v = head.(v) < 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let declares = ref [] in
+    for v = 0 to n - 1 do
+      if is_candidate v then begin
+        let wins =
+          Graph.fold_neighbors g v (fun acc u -> acc && not (is_candidate u && beats u v)) true
+        in
+        if wins then declares := v :: !declares
+      end
+    done;
+    List.iter
+      (fun v ->
+        head.(v) <- v;
+        changed := true)
+      !declares;
+    for v = 0 to n - 1 do
+      if is_candidate v then begin
+        let best =
+          Graph.fold_neighbors g v
+            (fun acc u ->
+              if head.(u) = u then
+                match acc with Some b when beats b u -> acc | _ -> Some u
+              else acc)
+            None
+        in
+        match best with
+        | Some h ->
+          head.(v) <- h;
+          changed := true
+        | None -> ()
+      end
+    done
+  done;
+  Clustering.of_head_array g head

@@ -1,0 +1,32 @@
+(** Stability-aware clusterhead election.
+
+    Ramalakshmi and Radhakrishnan (arXiv:1204.2041) build smaller,
+    longer-lived CDS backbones by electing low-mobility, well-connected
+    nodes as clusterheads.  This module supplies both halves: a mobility
+    {!history} that turns a sequence of position snapshots into a
+    per-node stability score (average displacement per observation), and
+    a {!cluster} election that prefers low score, then high degree, then
+    low id — the same synchronous declare/join fixpoint as
+    [Lowest_id]/[Highest_degree], with the weighted comparison. *)
+
+type history
+
+val create : Manet_geom.Point.t array -> history
+(** Start a history from an initial placement (copied). *)
+
+val observe : history -> Manet_geom.Point.t array -> unit
+(** Fold in the next position snapshot, accumulating each node's
+    displacement since the previous one.
+    @raise Invalid_argument if the node count changed. *)
+
+val scores : history -> float array
+(** Average displacement per observation — lower is more stable.  All
+    zeros before the first {!observe}. *)
+
+val cluster : ?scores:float array -> Manet_graph.Graph.t -> Clustering.t
+(** Elect clusterheads preferring low [scores], then high degree, then
+    low id.  Without [scores] every node counts as equally stable and
+    the election reduces to highest-connectivity clustering — the
+    static half of the combined weight, which is how the registry's
+    ["kmcds-k2m2/stable"] scheme runs when no mobility history exists.
+    @raise Invalid_argument if [scores] is not of length [n]. *)

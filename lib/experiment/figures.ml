@@ -19,6 +19,12 @@ let ratio ?name protocol = Scenario.Mcds_ratio { protocol; name }
 
 let cost field = Scenario.Construction_cost { field; name = None }
 
+let fail_deliver ?name protocol = Scenario.Failure_delivery { protocol; name; loss = None }
+
+let reconnect ?name protocol = Scenario.Reconnection_rounds { protocol; name }
+
+let redund ?name protocol = Scenario.Redundancy { protocol; name }
+
 let paper_degrees = [ 6.; 18. ]
 
 let builtins =
@@ -118,6 +124,22 @@ let builtins =
           fwd "dynamic-2.5hop/sender";
           fwd "dynamic-2.5hop/coverage";
           fwd "dynamic-2.5hop";
+        ];
+      Scenario.make ~name:"ext-resilience" ~degrees:paper_degrees
+        ~failures:{ Metric.kill = 1; round = 1; heal = None; backbone_only = true }
+        ~description:
+          "Resilience: one random backbone node dies at round 1 - post-failure delivery of the \
+           paper's static backbone vs the k-connected m-dominating family (k=2 should hold \
+           1.0), rounds the broadcast keeps propagating past the kill, and the \
+           redundant-coverage factor of each structure."
+        [
+          fail_deliver "static-2.5hop";
+          fail_deliver "kmcds-k1m2";
+          fail_deliver "kmcds-k2m2";
+          fail_deliver "kmcds-k2m2/stable";
+          reconnect "kmcds-k2m2";
+          redund "static-2.5hop";
+          redund "kmcds-k2m2";
         ];
       Scenario.make ~name:"ext-approx" ~ns:[ 8; 10; 12; 14; 16 ] ~degrees:[ 6. ]
         ~description:

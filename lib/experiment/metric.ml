@@ -56,6 +56,7 @@ let env_of ctx =
     clustering = lazy ctx.clustering;
     rng = ctx.rng;
     arena = Manet_broadcast.Engine.Arena.get ();
+    down = None;
   }
 
 let prepared ?clustering protocol ctx =
@@ -130,3 +131,112 @@ let cluster_count_highest_degree =
 
 let realized_degree =
   { name = "degree"; eval = (fun ctx -> Manet_graph.Graph.avg_degree ctx.graph) }
+
+(* Failure injection. *)
+
+type failure_spec = { kill : int; round : int; heal : int option; backbone_only : bool }
+
+(* Victims come from the prepared structure when the scenario targets
+   the backbone; source-dependent schemes expose no members, so their
+   "backbone" is the forward set of a clean run on the same context —
+   the nodes whose failure can actually hurt the broadcast. *)
+let victim_pool ~spec (built : Protocol.built) ctx =
+  let pool =
+    if spec.backbone_only then
+      match built.Protocol.members with
+      | Some members -> members
+      | None -> (fst (built.Protocol.run ~source:ctx.source ~mode:Protocol.Perfect)).Result.forwarders
+    else Nodeset.range (Manet_graph.Graph.n ctx.graph)
+  in
+  Nodeset.remove ctx.source pool
+
+(* Draw the victims (a partial Fisher-Yates shuffle from the context's
+   generator — deterministic per sample) and install the schedule on the
+   environment.  Returns the kill indicator. *)
+let install_failures ~spec env (built : Protocol.built) ctx =
+  let n = Manet_graph.Graph.n ctx.graph in
+  let pool = Array.of_list (Nodeset.elements (victim_pool ~spec built ctx)) in
+  let count = min spec.kill (Array.length pool) in
+  let killed = Array.make n false in
+  for i = 0 to count - 1 do
+    let j = i + Rng.int ctx.rng (Array.length pool - i) in
+    let v = pool.(j) in
+    pool.(j) <- pool.(i);
+    pool.(i) <- v;
+    killed.(v) <- true
+  done;
+  let round = spec.round and heal = spec.heal in
+  env.Protocol.down <-
+    Some
+      (fun ~time ~node ->
+        Array.unsafe_get killed node
+        && time >= round
+        && match heal with None -> true | Some h -> time < h);
+  killed
+
+let run_with_failures ~spec ~mode protocol ctx =
+  let env = env_of ctx in
+  let built = protocol.Protocol.prepare env in
+  let killed = install_failures ~spec env built ctx in
+  let r, _ = built.Protocol.run ~source:ctx.source ~mode in
+  env.Protocol.down <- None;
+  (r, killed)
+
+let failure_delivery ?name ?loss ~spec pname =
+  let protocol = Registry.find_exn pname in
+  let mode = mode_of_loss loss in
+  {
+    name = Option.value name ~default:(pname ^ "/fail");
+    eval =
+      (fun ctx ->
+        let r, killed = run_with_failures ~spec ~mode protocol ctx in
+        (* Delivery over the nodes alive at the end: killed nodes are
+           out of both sides unless the scenario heals them — a healed
+           node that missed the broadcast counts against delivery,
+           which is what partition-and-heal measures. *)
+        let healed = spec.heal <> None in
+        let total = ref 0 and got = ref 0 in
+        Array.iteri
+          (fun v delivered ->
+            if (not killed.(v)) || healed then begin
+              incr total;
+              if delivered then incr got
+            end)
+          r.Result.delivered;
+        float_of_int !got /. float_of_int (max 1 !total));
+  }
+
+let reconnection_rounds ?name ~spec pname =
+  let protocol = Registry.find_exn pname in
+  {
+    name = Option.value name ~default:(pname ^ "/reconnect");
+    eval =
+      (fun ctx ->
+        let r, _ = run_with_failures ~spec ~mode:Protocol.Perfect protocol ctx in
+        float_of_int (max 0 (r.Result.completion_time - spec.round)));
+  }
+
+let redundancy ?name pname =
+  let protocol = Registry.find_exn pname in
+  {
+    name = Option.value name ~default:(pname ^ "/redund");
+    eval =
+      (fun ctx ->
+        match (prepared protocol ctx).Protocol.members with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metric.redundancy: %s has no materialized structure" pname)
+        | Some members ->
+          let outside = ref 0 and covers = ref 0 in
+          for u = 0 to Manet_graph.Graph.n ctx.graph - 1 do
+            if not (Nodeset.mem u members) then begin
+              incr outside;
+              covers :=
+                !covers
+                + Manet_graph.Graph.fold_neighbors ctx.graph u
+                    (fun acc w -> if Nodeset.mem w members then acc + 1 else acc)
+                    0
+            end
+          done;
+          if !outside = 0 then 0. else float_of_int !covers /. float_of_int !outside);
+  }

@@ -80,6 +80,41 @@ val structure_size : ?name:string -> ?clustering:(Manet_graph.Graph.t -> Manet_c
 val completion_time : ?name:string -> string -> t
 (** Hop-time of the last delivery of one broadcast. *)
 
+(** {1 Failure injection (the resilience axis)} *)
+
+(** One failure event per sample: [kill] victims drawn uniformly
+    (without replacement, from the context's rng) go down at time
+    [round] and stay down — or come back at [heal] (partition-and-heal).
+    With [backbone_only] the victims come from the protocol's prepared
+    structure (its materialized members, or the forward set of a clean
+    run for source-dependent schemes); otherwise any non-source node.
+    The source is never a victim: failing it is indistinguishable from
+    not broadcasting. *)
+type failure_spec = { kill : int; round : int; heal : int option; backbone_only : bool }
+
+val failure_delivery : ?name:string -> ?loss:float -> spec:failure_spec -> string -> t
+(** Post-failure delivery ratio: one broadcast with the failure schedule
+    installed, counted over the nodes alive at the end (victims are
+    excluded unless healed — a healed node that missed the broadcast
+    counts against delivery).  [name] defaults to [proto ^ "/fail"];
+    [loss] layers per-reception loss on top of the failures. *)
+
+val reconnection_rounds : ?name:string -> spec:failure_spec -> string -> t
+(** How many rounds past the kill the broadcast kept propagating:
+    [max 0 (completion_time - round)] of a perfect-mode broadcast under
+    the failure schedule.  Zero means the failure ended the broadcast
+    (or it was already over).  [name] defaults to
+    [proto ^ "/reconnect"]. *)
+
+val redundancy : ?name:string -> string -> t
+(** Redundant-coverage factor of the materialized structure: mean
+    number of backbone neighbors over non-backbone nodes (>= m for a
+    sound m-dominating backbone on degree-rich graphs); [0.] when the
+    structure swallows the whole graph.  [name] defaults to
+    [proto ^ "/redund"].
+    @raise Invalid_argument at evaluation if the protocol builds no
+    materialized structure. *)
+
 (** {1 Diagnostics (not protocol-driven)} *)
 
 val cluster_count : t

@@ -15,6 +15,9 @@ type metric =
   | Mcds_size
   | Mcds_ratio of { protocol : string; name : string option }
   | Construction_cost of { field : cost_field; name : string option }
+  | Failure_delivery of { protocol : string; name : string option; loss : float option }
+  | Reconnection_rounds of { protocol : string; name : string option }
+  | Redundancy of { protocol : string; name : string option }
 
 type topology = { ns : int list; degrees : float list; width : float; height : float }
 
@@ -28,6 +31,7 @@ type t = {
   topology : topology;
   mobility : Metric.perturbation option;
   loss : float option;
+  failures : Metric.failure_spec option;
   stopping : stopping;
   metrics : metric list;
 }
@@ -41,7 +45,8 @@ let default_stopping = { min_samples = 30; max_samples = 500; rel_precision = 0.
 let quick_stopping = { min_samples = 5; max_samples = 8; rel_precision = 0.5 }
 
 let make ?(description = "") ?(seed = 42) ?(domains = 1) ?(ns = paper_ns) ?(width = 100.)
-    ?(height = 100.) ?mobility ?loss ?(stopping = default_stopping) ~name ~degrees metrics =
+    ?(height = 100.) ?mobility ?loss ?failures ?(stopping = default_stopping) ~name ~degrees
+    metrics =
   {
     name;
     description;
@@ -50,6 +55,7 @@ let make ?(description = "") ?(seed = 42) ?(domains = 1) ?(ns = paper_ns) ?(widt
     topology = { ns; degrees; width; height };
     mobility;
     loss;
+    failures;
     stopping;
     metrics;
   }
@@ -86,6 +92,9 @@ let metric_name = function
   | Mcds_ratio { protocol; name } -> Option.value name ~default:(protocol ^ "/mcds")
   | Construction_cost { field; name } ->
     Option.value name ~default:(match field with Total_per_hello -> "total/n" | f -> cost_field_tag f)
+  | Failure_delivery { protocol; name; _ } -> Option.value name ~default:(protocol ^ "/fail")
+  | Reconnection_rounds { protocol; name } -> Option.value name ~default:(protocol ^ "/reconnect")
+  | Redundancy { protocol; name } -> Option.value name ~default:(protocol ^ "/redund")
 
 (* Validation *)
 
@@ -94,9 +103,18 @@ let protocol_of = function
   | Delivery { protocol; _ }
   | Structure_size { protocol; _ }
   | Completion_time { protocol; _ }
-  | Mcds_ratio { protocol; _ } ->
+  | Mcds_ratio { protocol; _ }
+  | Failure_delivery { protocol; _ }
+  | Reconnection_rounds { protocol; _ }
+  | Redundancy { protocol; _ } ->
     Some protocol
   | Cluster_count _ | Realized_degree | Mcds_size | Construction_cost _ -> None
+
+let needs_failures = function
+  | Failure_delivery _ | Reconnection_rounds _ -> true
+  | Forwards _ | Delivery _ | Structure_size _ | Completion_time _ | Cluster_count _
+  | Realized_degree | Mcds_size | Mcds_ratio _ | Construction_cost _ | Redundancy _ ->
+    false
 
 let validate s =
   let err fmt = Printf.ksprintf (fun m -> Error ("scenario: " ^ m)) fmt in
@@ -105,12 +123,16 @@ let validate s =
     | m :: rest -> (
       let bad_loss l = l < 0. || l > 1. || Float.is_nan l in
       let metric_loss =
-        match m with Forwards { loss; _ } | Delivery { loss; _ } -> loss | _ -> None
+        match m with
+        | Forwards { loss; _ } | Delivery { loss; _ } | Failure_delivery { loss; _ } -> loss
+        | _ -> None
       in
       match protocol_of m with
       | Some p when Registry.find p = None ->
         err "metrics[%d]: unknown protocol %S; registered protocols: %s" i p
           (String.concat ", " Registry.names)
+      | _ when needs_failures m && s.failures = None ->
+        err "metrics[%d]: %S needs the scenario-level \"failures\" event" i (metric_name m)
       | _ ->
         (match metric_loss with
         | Some l when bad_loss l ->
@@ -147,6 +169,12 @@ let validate s =
     | Some l when l < 0. || l > 1. || Float.is_nan l ->
       err "\"loss\" %s outside [0, 1]" (Json.number_to_string l)
     | _ -> (
+      match s.failures with
+      | Some f when f.Metric.kill < 1 -> err "failures.kill must be >= 1 (got %d)" f.Metric.kill
+      | Some f when f.Metric.round < 0 -> err "failures.round must be >= 0 (got %d)" f.Metric.round
+      | Some { Metric.heal = Some h; round; _ } when h <= round ->
+        err "failures.heal (%d) must be after failures.round (%d)" h round
+      | _ -> (
       match s.mobility with
       | Some p when p.Metric.steps < 0 -> err "mobility.steps must be >= 0 (got %d)" p.Metric.steps
       | Some p when p.Metric.dt <= 0. -> err "mobility.dt must be positive"
@@ -155,7 +183,7 @@ let validate s =
       | Some p when p.Metric.pause_time < 0. -> err "mobility.pause_time must be >= 0"
       | _ ->
         if s.metrics = [] then err "\"metrics\" must list at least one series"
-        else check_metrics 0 [] s.metrics)
+        else check_metrics 0 [] s.metrics))
 
 (* Compilation to executable metrics *)
 
@@ -170,12 +198,22 @@ let compile s =
   (match validate s with Ok () -> () | Error m -> invalid_arg m);
   let default_loss = s.loss in
   let eff loss = match loss with Some _ -> loss | None -> default_loss in
+  let spec () =
+    match s.failures with
+    | Some f -> f
+    | None -> assert false (* validate requires failures for failure metrics *)
+  in
   List.map
     (fun m ->
       let name = metric_name m in
       match m with
       | Forwards { protocol; loss; _ } -> Metric.forwards ~name ?loss:(eff loss) protocol
       | Delivery { protocol; loss; _ } -> Metric.delivery ~name ?loss:(eff loss) protocol
+      | Failure_delivery { protocol; loss; _ } ->
+        Metric.failure_delivery ~name ?loss:(eff loss) ~spec:(spec ()) protocol
+      | Reconnection_rounds { protocol; _ } ->
+        Metric.reconnection_rounds ~name ~spec:(spec ()) protocol
+      | Redundancy { protocol; _ } -> Metric.redundancy ~name protocol
       | Structure_size { protocol; clustering; _ } ->
         Metric.structure_size ~name ?clustering:(Option.map clustering_fn clustering) protocol
       | Completion_time { protocol; _ } -> Metric.completion_time ~name protocol
@@ -253,6 +291,13 @@ let metric_to_json m =
   | Construction_cost { field; name } ->
     kind "construction-cost"
       ([ ("field", Json.Str (cost_field_tag field)) ] @ opt_str "name" name)
+  | Failure_delivery { protocol; name; loss } ->
+    kind "failure-delivery"
+      ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name @ opt_num "loss" loss)
+  | Reconnection_rounds { protocol; name } ->
+    kind "reconnection-rounds" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name)
+  | Redundancy { protocol; name } ->
+    kind "redundancy" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name)
 
 let to_json s =
   let ints ns = Json.Arr (List.map (fun n -> Json.Num (float_of_int n)) ns) in
@@ -291,6 +336,23 @@ let to_json s =
               ] );
         ])
     @ (match s.loss with None -> [] | Some l -> [ ("loss", Json.Num l) ])
+    @ (match s.failures with
+      | None -> []
+      | Some f ->
+        [
+          ( "failures",
+            Json.Obj
+              ([
+                 ("kill", Json.Num (float_of_int f.Metric.kill));
+                 ("round", Json.Num (float_of_int f.Metric.round));
+               ]
+              @ (match f.Metric.heal with
+                | None -> []
+                | Some h -> [ ("heal", Json.Num (float_of_int h)) ])
+              @
+              if f.Metric.backbone_only then []
+              else [ ("scope", Json.Str "any") ]) );
+        ])
     @ [
         ( "stopping",
           Json.Obj
@@ -400,10 +462,20 @@ let metric_of_json i j =
             (get_str ~context:(context ^ ".field") (required ~context fields "field"));
         name = name ();
       }
+  | "failure-delivery" ->
+    check [ "protocol"; "name"; "loss" ];
+    Failure_delivery { protocol = protocol (); name = name (); loss = loss () }
+  | "reconnection-rounds" ->
+    check [ "protocol"; "name" ];
+    Reconnection_rounds { protocol = protocol (); name = name () }
+  | "redundancy" ->
+    check [ "protocol"; "name" ];
+    Redundancy { protocol = protocol (); name = name () }
   | other ->
     reject
       "%s: unknown metric kind %S (expected forwards, delivery, structure-size, completion-time, \
-       cluster-count, realized-degree, mcds-size, mcds-ratio or construction-cost)"
+       cluster-count, realized-degree, mcds-size, mcds-ratio, construction-cost, \
+       failure-delivery, reconnection-rounds or redundancy)"
       context other
 
 let topology_of_json j =
@@ -462,6 +534,25 @@ let mobility_of_json j =
       | Some v -> get_float ~context:"mobility.pause_time" v);
   }
 
+let failures_of_json j =
+  let context = "failures" in
+  let fields = obj_of ~context j in
+  check_fields ~context ~allowed:[ "kill"; "round"; "heal"; "scope" ] fields;
+  {
+    Metric.kill = get_int ~context:"failures.kill" (required ~context fields "kill");
+    round = get_int ~context:"failures.round" (required ~context fields "round");
+    heal = Option.map (get_int ~context:"failures.heal") (field fields "heal");
+    backbone_only =
+      (match field fields "scope" with
+      | None -> true
+      | Some v -> (
+        match get_str ~context:"failures.scope" v with
+        | "backbone" -> true
+        | "any" -> false
+        | other ->
+          reject "failures.scope: unknown scope %S (expected \"backbone\" or \"any\")" other));
+  }
+
 let of_json j =
   match
     let context = "scenario" in
@@ -470,7 +561,7 @@ let of_json j =
       ~allowed:
         [
           "version"; "name"; "description"; "seed"; "domains"; "topology"; "mobility"; "loss";
-          "stopping"; "metrics";
+          "failures"; "stopping"; "metrics";
         ]
       fields;
     let v = get_int ~context:"version" (required ~context fields "version") in
@@ -491,6 +582,7 @@ let of_json j =
         topology = topology_of_json (required ~context fields "topology");
         mobility = Option.map mobility_of_json (field fields "mobility");
         loss = Option.map (get_float ~context:"loss") (field fields "loss");
+        failures = Option.map failures_of_json (field fields "failures");
         stopping = stopping_of_json (required ~context fields "stopping");
         metrics =
           List.mapi metric_of_json (get_list ~context:"metrics" (required ~context fields "metrics"));

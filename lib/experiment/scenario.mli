@@ -37,6 +37,15 @@ type metric =
   | Mcds_ratio of { protocol : string; name : string option }
       (** the protocol's structure size over the exact MCDS size *)
   | Construction_cost of { field : cost_field; name : string option }
+  | Failure_delivery of { protocol : string; name : string option; loss : float option }
+      (** post-failure delivery ratio under the scenario's [failures]
+          event (requires one) *)
+  | Reconnection_rounds of { protocol : string; name : string option }
+      (** rounds the broadcast kept propagating past the kill
+          (requires a [failures] event) *)
+  | Redundancy of { protocol : string; name : string option }
+      (** redundant-coverage factor: mean backbone neighbors over
+          non-backbone nodes (structural; no failure event needed) *)
 
 type topology = {
   ns : int list;  (** network sizes, one sweep point each *)
@@ -59,6 +68,11 @@ type t = {
   mobility : Metric.perturbation option;
   loss : float option;  (** default per-reception loss for every
                             protocol series (each may override) *)
+  failures : Metric.failure_spec option;
+      (** the failure event injected by the failure metrics: kill count,
+          kill round, optional heal round, victim scope (backbone or any
+          node).  Victims are redrawn per sample from the context's
+          generator. *)
   stopping : stopping;
   metrics : metric list;
 }
@@ -86,6 +100,7 @@ val make :
   ?height:float ->
   ?mobility:Metric.perturbation ->
   ?loss:float ->
+  ?failures:Metric.failure_spec ->
   ?stopping:stopping ->
   name:string ->
   degrees:float list ->
@@ -93,8 +108,8 @@ val make :
   t
 (** Programmatic construction with the paper's defaults: seed 42,
     1 domain, {!paper_ns}, the 100x100 working space, no mobility, no
-    loss, {!default_stopping}.  The result is {e not} validated — run it
-    through {!validate} (the runner does). *)
+    loss, no failures, {!default_stopping}.  The result is {e not}
+    validated — run it through {!validate} (the runner does). *)
 
 val quicken : t -> t
 (** The [--quick] transform: seed 7, {!quick_stopping}, and the
@@ -110,9 +125,11 @@ val metric_name : metric -> string
 val validate : t -> (unit, string) result
 (** Full strictness: non-empty grids with n >= 2 and positive degrees,
     positive working space, a sane stopping rule, loss in [0, 1], a sane
-    mobility regime, at least one metric, every protocol registered, and
-    no duplicate series labels.  Messages name the offending field and,
-    for protocols, list the registered names. *)
+    mobility regime, a sane failure event (kill >= 1, round >= 0, heal
+    after round) present whenever a failure metric needs one, at least
+    one metric, every protocol registered, and no duplicate series
+    labels.  Messages name the offending field and, for protocols, list
+    the registered names. *)
 
 val compile : t -> Metric.t list
 (** The scenario's series as executable metrics, in order, with the

@@ -36,6 +36,34 @@ let component_sizes g =
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
   List.sort (fun a b -> Int.compare b a) (Array.to_list sizes)
 
+let is_connected_without g ~v =
+  let n = Graph.n g in
+  if v < 0 || v >= n then invalid_arg "Connectivity.is_connected_without: node out of range";
+  if n <= 2 then true
+  else begin
+    let off, nbr = Graph.csr g in
+    let seen = Array.make n false in
+    seen.(v) <- true;
+    let start = if v = 0 then 1 else 0 in
+    seen.(start) <- true;
+    let queue = Array.make n 0 in
+    queue.(0) <- start;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      for i = Array.unsafe_get off u to Array.unsafe_get off (u + 1) - 1 do
+        let w = Array.unsafe_get nbr i in
+        if not (Array.unsafe_get seen w) then begin
+          Array.unsafe_set seen w true;
+          queue.(!tail) <- w;
+          incr tail
+        end
+      done
+    done;
+    !tail = n - 1
+  end
+
 let reachable_within g ~from s =
   if not (Nodeset.mem from s) then Nodeset.empty
   else begin

@@ -14,6 +14,13 @@ val components : Graph.t -> int array * int
 val component_sizes : Graph.t -> int list
 (** Sizes of the components, largest first. *)
 
+val is_connected_without : Graph.t -> v:int -> bool
+(** Whether the graph stays connected after deleting node [v] — the
+    residual-connectivity test of the fault-tolerance oracles (a
+    [false] answer means [v] is a cut vertex, or the graph was already
+    disconnected).  True on graphs of at most two nodes.
+    @raise Invalid_argument if [v] is out of range. *)
+
 val is_connected_subset : Graph.t -> Nodeset.t -> bool
 (** Whether the subgraph induced by the set is connected.  The empty set
     counts as connected (vacuously), matching the usual CDS convention for

@@ -1,0 +1,40 @@
+(** k-connected m-dominating backbone augmentation.
+
+    The paper's backbone is a plain CDS: one clusterhead failure can
+    partition the broadcast structure.  Zhou, Zhang, Wu and Xu
+    (arXiv:1604.06181) build fault-tolerant virtual backbones by
+    augmenting a CDS until it is m-dominating (every outside node has m
+    backbone neighbors) and k-vertex-connected; this module is that
+    augmentation, specialized to the k ∈ {1, 2} regime the resilience
+    experiments measure.
+
+    Like the rest of [Manet_mcds], this is a pure graph solver: the
+    base CDS comes in as an argument (the registry feeds it the paper's
+    static backbone), and nothing here knows about broadcasting. *)
+
+val augment :
+  Manet_graph.Graph.t -> base:Manet_graph.Nodeset.t -> k:int -> m:int -> Manet_graph.Nodeset.t
+(** [augment g ~base ~k ~m] grows [base] — any connected dominating set
+    of [g] — into a superset [B] such that, on a connected [g]:
+
+    - {b m-domination}: every node [u] outside [B] has at least
+      [min m (deg u)] neighbors in [B] (the clamp keeps the requirement
+      satisfiable at degree-starved fringe nodes);
+    - {b connectivity} ([k >= 1]): [B] induces a connected subgraph;
+    - {b biconnectivity} ([k = 2]): for every [v] in [B] whose removal
+      leaves [g] connected, [B - v] still induces a connected subgraph —
+      so no single backbone failure short of a graph cut vertex can
+      partition the backbone.
+
+    Deterministic: repairs prefer high-degree nodes, ties break toward
+    low ids.  On a disconnected [g] the stages repair what is reachable
+    and stop (no contract is claimed across components).
+    @raise Invalid_argument if [k] is outside [{1, 2}], [m < 1], or
+    [base] is empty. *)
+
+val params_of_name : string -> (int * int) option
+(** [params_of_name name] recovers [(k, m)] from a family protocol name
+    of the shape ["kmcds-k<k>m<m>"], ignoring a trailing ["/..."]
+    variant or ["!..."] mutant suffix — [None] for names outside the
+    family.  The fault-tolerance oracles use this to decide which
+    contract a protocol claims. *)

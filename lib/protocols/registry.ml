@@ -10,6 +10,31 @@ let greedy_cds =
     ~description:"greedy CDS of Guha and Khuller: the scalable approximation-ratio reference"
     ~build:(fun env -> Manet_mcds.Greedy_cds.build env.Protocol.graph)
 
+(* The fault-tolerant family: the paper's static backbone augmented to a
+   k-connected m-dominating set (Zhou et al.).  Like greedy CDS, the
+   augmentation is a pure solver, so the wrappers live here.  The
+   [stable] variant swaps the base clustering for the stability-aware
+   election (Ramalakshmi-Radhakrishnan); with no mobility history in the
+   environment it elects by connectivity, the static half of that
+   weight. *)
+let kmcds_build ?(stable = false) ~k ~m env =
+  let g = env.Protocol.graph in
+  let clustering =
+    if stable then Manet_cluster.Stability.cluster g else Lazy.force env.Protocol.clustering
+  in
+  let base = (Static.build ~clustering g Coverage.Hop25).Static.members in
+  Manet_mcds.Kmcds.augment g ~base ~k ~m
+
+let kmcds ?(stable = false) ~k ~m () =
+  let name = Printf.sprintf "kmcds-k%dm%d%s" k m (if stable then "/stable" else "") in
+  let description =
+    Printf.sprintf
+      "%d-connected %d-dominating backbone: static backbone augmented for fault tolerance%s"
+      k m
+      (if stable then ", over stability-aware clusterheads" else " (Zhou et al.)")
+  in
+  Protocol.si ~name ~description ~build:(kmcds_build ~stable ~k ~m)
+
 let all =
   [
     (* the paper's backbones *)
@@ -24,6 +49,12 @@ let all =
     Manet_baselines.Wu_li.protocol;
     Manet_baselines.Tree_cds.protocol;
     greedy_cds;
+    (* fault-tolerant k-connected m-dominating backbones *)
+    kmcds ~k:1 ~m:1 ();
+    kmcds ~k:1 ~m:2 ();
+    kmcds ~k:2 ~m:1 ();
+    kmcds ~k:2 ~m:2 ();
+    kmcds ~stable:true ~k:2 ~m:2 ();
     (* source-dependent schemes *)
     Manet_baselines.Dominant_pruning.protocol;
     Manet_baselines.Partial_dominant_pruning.protocol;

@@ -76,6 +76,11 @@ through:
   wu-li                    SI    build  Wu-Li marking process with pruning Rules 1 and 2 (DIALM'99)
   tree-cds                 SI    build  spanning-tree CDS of Alzoubi, Wan and Frieder (HICSS-35): BFS-ranked MIS plus parents
   greedy-cds               SI    build  greedy CDS of Guha and Khuller: the scalable approximation-ratio reference
+  kmcds-k1m1               SI    build  1-connected 1-dominating backbone: static backbone augmented for fault tolerance (Zhou et al.)
+  kmcds-k1m2               SI    build  1-connected 2-dominating backbone: static backbone augmented for fault tolerance (Zhou et al.)
+  kmcds-k2m1               SI    build  2-connected 1-dominating backbone: static backbone augmented for fault tolerance (Zhou et al.)
+  kmcds-k2m2               SI    build  2-connected 2-dominating backbone: static backbone augmented for fault tolerance (Zhou et al.)
+  kmcds-k2m2/stable        SI    build  2-connected 2-dominating backbone: static backbone augmented for fault tolerance, over stability-aware clusterheads
   dp                       SD    -      dominant pruning (Lim and Kim): senders designate a greedy 2-hop cover
   pdp                      SD    -      partial dominant pruning (Lou and Wu, TMC'02): DP minus the common-neighbor coverage
   ahbp                     SD    -      ad hoc broadcast protocol (Peng and Lu): BRG designation excluding the upstream BRG set
@@ -102,15 +107,15 @@ Topology generation is deterministic in the seed:
 The listing is the registry itself — one line per registered scheme:
 
   $ manet protocols | wc -l
-  19
+  24
 
 The invariant-oracle harness checks every protocol against the oracle
 catalog on seeded random topologies; runs are deterministic in the
 seed:
 
   $ manet check --seed 42 --cases 25
-  check: seed=42 cases=25 protocols=19 oracles=9
-  OK: 25 cases, 2263 checks passed, 662 skipped
+  check: seed=42 cases=25 protocols=24 oracles=12
+  OK: 25 cases, 3338 checks passed, 2137 skipped
 
   $ manet check --list
   coverage               structural    2.5/3-hop coverage sets match a BFS reference; connector tables are real paths; the CH_HOP cache agrees with per-head recomputation
@@ -122,12 +127,15 @@ seed:
   determinism            per-protocol  equal generator states give bit-identical results and timelines
   loss-sanity            per-protocol  a lossy broadcast stays self-consistent with a delivery ratio in [0, 1]
   arena-reuse            per-protocol  broadcasts are bit-identical on a fresh, the domain's, and a dirty reused engine arena, under perfect and lossy engines
+  k-connectivity         per-protocol  a kmcds backbone survives any single member removal that is not a graph cut vertex with its induced subgraph connected (k = 2)
+  m-domination           per-protocol  every non-backbone node of a kmcds scheme has min(m, degree) backbone neighbors
+  failure-delivery       per-protocol  killing any single backbone node of a k=2 scheme (graph staying connected) still delivers to every surviving node promised the packet
 
 A deliberately broken gateway selection (the harness's own mutant) is
 caught and shrunk to a minimal reproducer:
 
   $ manet check --seed 42 --cases 50 --proto static-2.5hop!drop-coverage --output repro.ml
-  check: seed=42 cases=50 protocols=1 oracles=9
+  check: seed=42 cases=50 protocols=1 oracles=12
   FAIL oracle=backbone-connectivity proto=static-2.5hop!drop-coverage case 1 (udg, seed 42): n=42 m=85 source=31
     static-2.5hop!drop-coverage: backbone {0, 1, 2, 3, 4, 5, 6, 7, 10, 12, 13, 15, 16, 17, 18, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 33, 36, 37, 40} induces a disconnected subgraph
     shrunk to n=3 m=2 source=2 (41 shrink checks)
@@ -156,6 +164,7 @@ shape each one is expected to show:
   ext-msgs        Message complexity: transmissions of each distributed construction stage, and the total divided by n (flat when the total is O(n)).
   ext-delivery    Diagnostic: delivery ratios of the dynamic backbone and the SD baselines (expected at or near 1.0).
   ext-pruning     Ablation: dynamic backbone under the three pruning levels, against the static backbone as the no-history reference (2.5-hop mode).
+  ext-resilience  Resilience: one random backbone node dies at round 1 - post-failure delivery of the paper's static backbone vs the k-connected m-dominating family (k=2 should hold 1.0), rounds the broadcast keeps propagating past the kill, and the redundant-coverage factor of each structure.
   ext-approx      Approximation ratios |CDS| / |MCDS| on small networks (the exact solver is exponential) for the static backbone (both modes), MO_CDS and greedy CDS.
 
 A builtin runs by name; --quick shrinks the grids and the sample budget
@@ -172,6 +181,23 @@ so the sweep finishes in seconds (progress goes to stderr):
       20        6      5.17 (±2.44)      5.00 (±2.10)      5.83 (±1.81)
       60        5     19.00 (±3.64)     20.40 (±3.70)     21.20 (±4.71)
      100        5     37.80 (±5.37)     38.00 (±5.93)     40.20 (±6.28)
+
+The resilience figure exercises the failure-injection engine: one
+random backbone node dies at round 1, and the k=2 family's delivery
+stays at (or near — graph cut vertices are unbeatable) 1.0 while the
+plain static backbone degrades:
+
+  $ manet run ext-resilience --quick 2>/dev/null
+  ext-resilience (d = 6)
+       n  samples static-2.5hop/fail    kmcds-k1m2/fail    kmcds-k2m2/fail kmcds-k2m2/stable/fail kmcds-k2m2/reconnect static-2.5hop/redund  kmcds-k2m2/redund
+      20        5      0.96 (±0.05)      0.94 (±0.11)      1.00 (±0.00)      0.98 (±0.03)      3.80 (±1.71)      2.55 (±0.42)      3.00 (±0.35)
+      60        5      0.98 (±0.04)      0.83 (±0.40)      0.97 (±0.08)      0.99 (±0.02)     10.40 (±1.75)      3.04 (±0.18)      3.65 (±0.22)
+     100        5      0.91 (±0.15)      0.97 (±0.08)      1.00 (±0.00)      1.00 (±0.00)     12.20 (±1.71)      3.30 (±0.11)      3.70 (±0.18)
+  ext-resilience (d = 18)
+       n  samples static-2.5hop/fail    kmcds-k1m2/fail    kmcds-k2m2/fail kmcds-k2m2/stable/fail kmcds-k2m2/reconnect static-2.5hop/redund  kmcds-k2m2/redund
+      20        6      0.88 (±0.27)      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      1.50 (±0.58)      2.81 (±1.14)      3.82 (±0.97)
+      60        5      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      3.20 (±0.52)      4.30 (±0.62)      4.68 (±0.57)
+     100        5      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      4.80 (±1.50)      5.42 (±1.10)      5.73 (±1.20)
 
 Anything else must be a scenario file on disk:
 

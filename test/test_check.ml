@@ -127,7 +127,7 @@ let test_clean_run_all_protocols () =
 
 let test_mutant_caught_and_shrunk () =
   let outcome =
-    Runner.run (Runner.config ~seed:42 ~cases:300 ~protos:Mutate.all ())
+    Runner.run (Runner.config ~seed:42 ~cases:300 ~protos:[ Mutate.drop_coverage_entry ] ())
   in
   match outcome.Runner.failure with
   | None -> Alcotest.fail "dropped coverage entry not caught within 300 cases"
@@ -151,6 +151,50 @@ let test_mutant_caught_and_shrunk () =
       (match v with Oracle.Fail _ -> true | _ -> false);
     Alcotest.(check bool) "reproducer mentions the replay seed" true
       (contains f.Runner.reproducer "--seed 42")
+
+(* Each fault-tolerance oracle catches the kmcds mutant seeded with
+   exactly its fault class, and the witness shrinks to <= 5 nodes (the
+   issue's acceptance bound). *)
+
+let check_kmcds_mutant ~mutant ~oracle () =
+  let outcome =
+    Runner.run
+      (Runner.config ~seed:42 ~cases:300 ~protos:[ mutant ]
+         ~oracles:[ Oracle.find_exn oracle ] ())
+  in
+  match outcome.Runner.failure with
+  | None ->
+    Alcotest.failf "%s not caught by %s within 300 cases" mutant.Protocol.name oracle
+  | Some f ->
+    Alcotest.(check string) "caught by the targeted oracle" oracle f.Runner.oracle.Oracle.name;
+    Alcotest.(check bool)
+      (Printf.sprintf "reproducer has %d <= 5 nodes" (Graph.n f.Runner.shrunk.Shrink.graph))
+      true
+      (Graph.n f.Runner.shrunk.Shrink.graph <= 5);
+    let v =
+      Runner.reproduce ~oracle ?proto:f.Runner.proto f.Runner.shrunk.Shrink.graph
+        ~source:f.Runner.shrunk.Shrink.source
+    in
+    Alcotest.(check bool) "reproduce re-fails" true
+      (match v with Oracle.Fail _ -> true | _ -> false)
+
+(* The genuine kmcds schemes pass the fault-tolerance oracles the
+   mutants fail — the oracles discriminate, not just reject. *)
+let test_fault_oracles_pass_genuine () =
+  let outcome =
+    Runner.run
+      (Runner.config ~seed:42 ~cases:120
+         ~protos:
+           (List.filter_map Registry.find
+              [ "kmcds-k1m1"; "kmcds-k1m2"; "kmcds-k2m1"; "kmcds-k2m2"; "kmcds-k2m2/stable" ])
+         ~oracles:
+           (List.map Oracle.find_exn [ "k-connectivity"; "m-domination"; "failure-delivery" ])
+         ())
+  in
+  (match outcome.Runner.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "genuine scheme failed: %s" f.Runner.message);
+  Alcotest.(check bool) "checks performed" true (outcome.Runner.checks > 0)
 
 (* Mobility + maintenance: after each step of a walk, the incrementally
    repaired backbone must still satisfy the domination and connectivity
@@ -213,6 +257,17 @@ let () =
           Alcotest.test_case "clean run over the registry" `Quick test_clean_run_all_protocols;
           Alcotest.test_case "mutant caught and shrunk (issue acceptance)" `Quick
             test_mutant_caught_and_shrunk;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "drop-connector caught by k-connectivity" `Quick
+            (check_kmcds_mutant ~mutant:Mutate.drop_connector ~oracle:"k-connectivity");
+          Alcotest.test_case "drop-connector caught by failure-delivery" `Quick
+            (check_kmcds_mutant ~mutant:Mutate.drop_connector ~oracle:"failure-delivery");
+          Alcotest.test_case "under-dominate caught by m-domination" `Quick
+            (check_kmcds_mutant ~mutant:Mutate.under_dominate ~oracle:"m-domination");
+          Alcotest.test_case "genuine schemes pass the fault oracles" `Quick
+            test_fault_oracles_pass_genuine;
         ] );
       ( "maintenance",
         [

@@ -92,6 +92,99 @@ let prop_backbone_ratio_bounded =
       in
       s <= 15 * mcds)
 
+(* k-connected m-dominating augmentation *)
+
+module Kmcds = Manet_mcds.Kmcds
+module Connectivity = Manet_graph.Connectivity
+
+let m_dominated g ~m members =
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    if not (Nodeset.mem u members) then begin
+      let have =
+        Graph.fold_neighbors g u (fun acc w -> if Nodeset.mem w members then acc + 1 else acc) 0
+      in
+      if have < min m (Graph.degree g u) then ok := false
+    end
+  done;
+  !ok
+
+let biconnected g members =
+  Nodeset.for_all
+    (fun v ->
+      (not (Connectivity.is_connected_without g ~v))
+      || Connectivity.is_connected_subset g (Nodeset.remove v members))
+    members
+
+let test_kmcds_families () =
+  (* A cycle's greedy CDS misses the closing arc: k=2 must add it back. *)
+  let c6 = Graph.cycle 6 in
+  let base = Greedy.build c6 in
+  let b = Kmcds.augment c6 ~base ~k:2 ~m:2 in
+  Alcotest.(check int) "cycle 6, k2m2: the whole ring" 6 (Nodeset.cardinal b);
+  Alcotest.(check bool) "cycle 6 biconnected" true (biconnected c6 b);
+  (* Complete graphs: m=2 forces a second member, and that suffices. *)
+  let k5 = Graph.complete 5 in
+  let b = Kmcds.augment k5 ~base:(Greedy.build k5) ~k:2 ~m:2 in
+  Alcotest.(check bool) "complete 5 m-dominated" true (m_dominated k5 ~m:2 b);
+  Alcotest.(check bool) "complete 5 biconnected" true (biconnected k5 b);
+  (* k=1 m=1 on a CDS base is the identity. *)
+  let p5 = Graph.path 5 in
+  let base = Greedy.build p5 in
+  Alcotest.check nodeset "path 5, k1m1: base unchanged" base
+    (Kmcds.augment p5 ~base ~k:1 ~m:1);
+  (* Degree-starved fringe: a pendant node can never see two members,
+     so min m (deg u) clamps the requirement to its single neighbor. *)
+  let star = Graph.star 5 in
+  let b = Kmcds.augment star ~base:(Greedy.build star) ~k:2 ~m:2 in
+  Alcotest.(check bool) "star m-dominated under the clamp" true (m_dominated star ~m:2 b)
+
+let test_kmcds_validation () =
+  let g = Graph.path 3 in
+  let base = Greedy.build g in
+  Alcotest.check_raises "k = 0" (Invalid_argument "Kmcds.augment: k must be 1 or 2") (fun () ->
+      ignore (Kmcds.augment g ~base ~k:0 ~m:1));
+  Alcotest.check_raises "k = 3" (Invalid_argument "Kmcds.augment: k must be 1 or 2") (fun () ->
+      ignore (Kmcds.augment g ~base ~k:3 ~m:1));
+  Alcotest.check_raises "m = 0" (Invalid_argument "Kmcds.augment: m must be >= 1") (fun () ->
+      ignore (Kmcds.augment g ~base ~k:1 ~m:0));
+  Alcotest.check_raises "empty base" (Invalid_argument "Kmcds.augment: base backbone is empty")
+    (fun () ->
+      ignore (Kmcds.augment g ~base:Nodeset.empty ~k:1 ~m:1))
+
+let test_kmcds_params_of_name () =
+  let check name expected =
+    Alcotest.(check (option (pair int int))) name expected (Kmcds.params_of_name name)
+  in
+  check "kmcds-k1m1" (Some (1, 1));
+  check "kmcds-k2m2" (Some (2, 2));
+  check "kmcds-k2m2/stable" (Some (2, 2));
+  check "kmcds-k2m2!drop-connector" (Some (2, 2));
+  check "kmcds-k2m25" None;
+  check "kmcds-" None;
+  check "static-2.5hop" None;
+  check "flooding" None
+
+let prop_kmcds_contracts =
+  qtest "augment delivers m-domination, connectivity, and k=2 biconnectivity" ~count:60
+    (arb_udg ()) (fun case ->
+      let g = (sample_of case).graph in
+      let base = Greedy.build g in
+      List.for_all
+        (fun (k, m) ->
+          let b = Kmcds.augment g ~base ~k ~m in
+          Nodeset.subset base b
+          && Dominating.is_cds g b
+          && m_dominated g ~m b
+          && (k < 2 || biconnected g b))
+        [ (1, 1); (1, 2); (2, 1); (2, 2) ])
+
+let prop_kmcds_deterministic =
+  qtest "augment is deterministic" ~count:40 (arb_udg ()) (fun case ->
+      let g = (sample_of case).graph in
+      let base = Greedy.build g in
+      Nodeset.equal (Kmcds.augment g ~base ~k:2 ~m:2) (Kmcds.augment g ~base ~k:2 ~m:2))
+
 let () =
   Alcotest.run "mcds"
     [
@@ -110,4 +203,12 @@ let () =
           prop_exact_truly_minimal_brute;
         ] );
       ("ratio", [ prop_backbone_ratio_bounded ]);
+      ( "kmcds",
+        [
+          Alcotest.test_case "families" `Quick test_kmcds_families;
+          Alcotest.test_case "validation" `Quick test_kmcds_validation;
+          Alcotest.test_case "params_of_name" `Quick test_kmcds_params_of_name;
+          prop_kmcds_contracts;
+          prop_kmcds_deterministic;
+        ] );
     ]

@@ -28,6 +28,7 @@ let documented_names =
     "static-2.5hop"; "static-3hop";
     "dynamic-2.5hop"; "dynamic-3hop"; "dynamic-2.5hop/sender"; "dynamic-2.5hop/coverage";
     "mo_cds"; "wu-li"; "tree-cds"; "greedy-cds";
+    "kmcds-k1m1"; "kmcds-k1m2"; "kmcds-k2m1"; "kmcds-k2m2"; "kmcds-k2m2/stable";
     "dp"; "pdp"; "ahbp"; "mpr"; "fwd-tree";
     "flooding"; "self-pruning"; "counter"; "passive";
   ]
@@ -36,10 +37,10 @@ let test_names_unique () =
   let sorted = List.sort_uniq compare Registry.names in
   Alcotest.(check int) "no duplicate names" (List.length Registry.names) (List.length sorted)
 
-(* The registry is exactly the documented catalog: 19 schemes, same
+(* The registry is exactly the documented catalog: 24 schemes, same
    order the CLI prints them in (test/cram/cli.t pins the rendering). *)
 let test_exactly_documented () =
-  Alcotest.(check int) "exactly 19 registered schemes" 19 (List.length Registry.names);
+  Alcotest.(check int) "exactly 24 registered schemes" 24 (List.length Registry.names);
   Alcotest.(check (list string)) "registry = documented catalog, in order" documented_names
     Registry.names
 
@@ -118,6 +119,32 @@ let legacy_runs =
       fun g ~cl:_ ~rng:_ ~source ->
         let cds = Manet_mcds.Greedy_cds.build g in
         Si.run g ~in_cds:(fun v -> Nodeset.mem v cds) ~source );
+    ( "kmcds-k1m1",
+      fun g ~cl ~rng:_ ~source ->
+        let base = (Static.build ~clustering:cl g Coverage.Hop25).Static.members in
+        let b = Manet_mcds.Kmcds.augment g ~base ~k:1 ~m:1 in
+        Si.run g ~in_cds:(fun v -> Nodeset.mem v b) ~source );
+    ( "kmcds-k1m2",
+      fun g ~cl ~rng:_ ~source ->
+        let base = (Static.build ~clustering:cl g Coverage.Hop25).Static.members in
+        let b = Manet_mcds.Kmcds.augment g ~base ~k:1 ~m:2 in
+        Si.run g ~in_cds:(fun v -> Nodeset.mem v b) ~source );
+    ( "kmcds-k2m1",
+      fun g ~cl ~rng:_ ~source ->
+        let base = (Static.build ~clustering:cl g Coverage.Hop25).Static.members in
+        let b = Manet_mcds.Kmcds.augment g ~base ~k:2 ~m:1 in
+        Si.run g ~in_cds:(fun v -> Nodeset.mem v b) ~source );
+    ( "kmcds-k2m2",
+      fun g ~cl ~rng:_ ~source ->
+        let base = (Static.build ~clustering:cl g Coverage.Hop25).Static.members in
+        let b = Manet_mcds.Kmcds.augment g ~base ~k:2 ~m:2 in
+        Si.run g ~in_cds:(fun v -> Nodeset.mem v b) ~source );
+    ( "kmcds-k2m2/stable",
+      fun g ~cl:_ ~rng:_ ~source ->
+        let clustering = Manet_cluster.Stability.cluster g in
+        let base = (Static.build ~clustering g Coverage.Hop25).Static.members in
+        let b = Manet_mcds.Kmcds.augment g ~base ~k:2 ~m:2 in
+        Si.run g ~in_cds:(fun v -> Nodeset.mem v b) ~source );
     ("dp", fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Dominant_pruning.broadcast g ~source);
     ( "pdp",
       fun g ~cl:_ ~rng:_ ~source -> Manet_baselines.Partial_dominant_pruning.broadcast g ~source );
@@ -310,7 +337,7 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "names unique" `Quick test_names_unique;
-          Alcotest.test_case "exactly the 19 documented schemes" `Quick test_exactly_documented;
+          Alcotest.test_case "exactly the 24 documented schemes" `Quick test_exactly_documented;
           Alcotest.test_case "lookup total over documented names" `Quick test_lookup_total;
           Alcotest.test_case "backbones are SI with build" `Quick test_backbones_materialize;
           Alcotest.test_case "backbones build CDSes" `Quick test_backbones_are_cds;

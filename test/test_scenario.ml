@@ -197,6 +197,69 @@ let test_bad_grids () =
        "metrics": [{"kind": "telepathy", "protocol": "flooding"}]}|}
     {|unknown metric kind "telepathy"|}
 
+(* The failure-injection axis: codec round-trip of every spelling, and
+   strict rejection of malformed or orphaned failure events. *)
+
+let test_failures_roundtrip () =
+  let s =
+    Scenario.make ~name:"resilience-knobs" ~description:"kill, heal, any-node scope" ~seed:5
+      ~ns:[ 20 ] ~degrees:[ 6. ]
+      ~failures:{ Metric.kill = 2; round = 3; heal = Some 7; backbone_only = false }
+      ~stopping:{ Scenario.min_samples = 2; max_samples = 4; rel_precision = 0.5 }
+      [
+        Scenario.Failure_delivery { protocol = "kmcds-k2m2"; name = None; loss = Some 0.1 };
+        Scenario.Reconnection_rounds { protocol = "kmcds-k2m2"; name = Some "rc" };
+        Scenario.Redundancy { protocol = "static-2.5hop"; name = None };
+      ]
+  in
+  (match Scenario.validate s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "validate: %s" m);
+  (match Scenario.of_string (Scenario.to_string s) with
+  | Ok s' -> Alcotest.(check bool) "round-trips" true (s = s')
+  | Error m -> Alcotest.fail m);
+  (* The backbone scope is the default and round-trips implicitly. *)
+  let s = { s with Scenario.failures = Some { Metric.kill = 1; round = 0; heal = None; backbone_only = true } } in
+  match Scenario.of_string (Scenario.to_string s) with
+  | Ok s' -> Alcotest.(check bool) "backbone scope round-trips" true (s = s')
+  | Error m -> Alcotest.fail m
+
+let test_failures_rejections () =
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "failure-delivery", "protocol": "kmcds-k2m2"}]}|}
+    {|needs the scenario-level "failures" event|};
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "failures": {"kill": 0, "round": 1},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "failure-delivery", "protocol": "kmcds-k2m2"}]}|}
+    "failures.kill";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "failures": {"kill": 1, "round": 5, "heal": 5},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "failure-delivery", "protocol": "kmcds-k2m2"}]}|}
+    "failures.heal";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "failures": {"kill": 1, "round": 1, "scope": "everywhere"},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "failure-delivery", "protocol": "kmcds-k2m2"}]}|}
+    "scope";
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "failures": {"kill": 1, "round": 1, "blast_radius": 3},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "failure-delivery", "protocol": "kmcds-k2m2"}]}|}
+    {|unknown field "blast_radius"|}
+
 (* Parity: every builtin figure, compiled from its scenario and run by
    the Runner, reproduces bit-identically the table the historical
    hand-coded sweep produced under the quick configuration.  The legacy
@@ -332,6 +395,17 @@ let legacy =
         Metric.forwards "dynamic-2.5hop/coverage";
         Metric.forwards "dynamic-2.5hop";
       ] );
+    ( "ext-resilience",
+      (let spec = { Metric.kill = 1; round = 1; heal = None; backbone_only = true } in
+       [
+         Metric.failure_delivery ~spec "static-2.5hop";
+         Metric.failure_delivery ~spec "kmcds-k1m2";
+         Metric.failure_delivery ~spec "kmcds-k2m2";
+         Metric.failure_delivery ~spec "kmcds-k2m2/stable";
+         Metric.reconnection_rounds ~spec "kmcds-k2m2";
+         Metric.redundancy "static-2.5hop";
+         Metric.redundancy "kmcds-k2m2";
+       ]) );
     ( "ext-approx",
       [
         { Metric.name = "mcds"; eval = mcds_of };
@@ -436,6 +510,36 @@ let test_resume_scenario_mismatch () =
       | exception Failure m ->
         Alcotest.(check bool) ("message: " ^ m) true (contains m "different scenario"))
 
+(* The same resume guarantees must hold mid-failure-sweep: victim draws
+   come from the per-sample generator, so a resumed run redraws the
+   identical victims and the tables stay bit-identical. *)
+
+let resume_failure_scenario ?(domains = 1) () =
+  Scenario.make ~name:"resume-failures" ~seed:13 ~domains ~ns:[ 20; 30 ] ~degrees:[ 6. ]
+    ~failures:{ Metric.kill = 1; round = 1; heal = None; backbone_only = true }
+    ~stopping:{ Scenario.min_samples = 12; max_samples = 24; rel_precision = 0.0001 }
+    [
+      Scenario.Failure_delivery { protocol = "kmcds-k2m2"; name = None; loss = None };
+      Scenario.Reconnection_rounds { protocol = "kmcds-k2m2"; name = None };
+      Scenario.Redundancy { protocol = "kmcds-k2m2"; name = None };
+    ]
+
+let test_resume_mid_failure_sweep () =
+  with_temp (fun path ->
+      let s = resume_failure_scenario () in
+      let full = Runner.run ~journal:path s in
+      let lines = journal_lines path in
+      (* Keep the header and the first 2 chunk entries: the cut lands
+         mid-sweep, between the two size points. *)
+      write_file path (String.concat "\n" (List.filteri (fun i _ -> i < 3) lines) ^ "\n");
+      let resumed = Runner.run ~journal:path ~resume:true s in
+      List.iter2 (same_table "mid-failure-sweep resume") full resumed)
+
+let test_failure_sweep_domain_invariant () =
+  let serial = Runner.run (resume_failure_scenario ()) in
+  let parallel = Runner.run (resume_failure_scenario ~domains:3 ()) in
+  List.iter2 (same_table "3 domains = 1 domain") serial parallel
+
 let test_resume_missing_journal_is_fresh () =
   with_temp (fun path ->
       Sys.remove path;
@@ -461,6 +565,9 @@ let () =
           Alcotest.test_case "unknown fields rejected" `Quick test_unknown_field;
           Alcotest.test_case "unknown protocol rejected" `Quick test_unknown_protocol;
           Alcotest.test_case "bad grids rejected" `Quick test_bad_grids;
+          Alcotest.test_case "failure events round-trip" `Quick test_failures_roundtrip;
+          Alcotest.test_case "malformed failure events rejected" `Quick
+            test_failures_rejections;
         ] );
       ( "parity",
         Alcotest.test_case "coverage" `Quick test_every_builtin_has_parity_coverage
@@ -472,5 +579,8 @@ let () =
           Alcotest.test_case "resume on more domains" `Quick test_resume_with_domains;
           Alcotest.test_case "scenario mismatch" `Quick test_resume_scenario_mismatch;
           Alcotest.test_case "missing journal" `Quick test_resume_missing_journal_is_fresh;
+          Alcotest.test_case "resume mid-failure-sweep" `Quick test_resume_mid_failure_sweep;
+          Alcotest.test_case "failure sweep is domain-invariant" `Quick
+            test_failure_sweep_domain_invariant;
         ] );
     ]
