@@ -38,6 +38,10 @@ module Arena = struct
     mutable trace_time : int array;
     mutable trace_node : int array;
     mutable trace_len : int;
+    pool : Manet_graph.Flatset.pool;
+        (** scratch storage for the per-broadcast flat coverage sets of
+            bespoke event loops (the dynamic backbone's pruning);
+            generation-bumped alongside the node maps *)
     mutable busy : bool;
   }
 
@@ -55,6 +59,7 @@ module Arena = struct
       trace_time = [||];
       trace_node = [||];
       trace_len = 0;
+      pool = Manet_graph.Flatset.create_pool ();
       busy = false;
     }
 
@@ -158,6 +163,92 @@ let trace_push (a : Arena.t) time v =
 
 let rec bits_for b n = if 1 lsl b >= n then b else bits_for (b + 1) n
 
+(* Caller-owned result + timeline from the arena's generation tags and
+   trace buffers — the common epilogue of [run_core] and every bespoke
+   loop driven through [Scratch]. *)
+let materialize (a : Arena.t) ~tick ~n ~source ~completion =
+  let delivered = a.delivered in
+  let delivered_out = Array.make n false in
+  for v = 0 to n - 1 do
+    if Array.unsafe_get delivered v = tick then Array.unsafe_set delivered_out v true
+  done;
+  let transmitted = a.transmitted in
+  let fwd = a.fwd in
+  let nfwd = ref 0 in
+  for v = 0 to n - 1 do
+    if Array.unsafe_get transmitted v = tick then begin
+      Array.unsafe_set fwd !nfwd v;
+      incr nfwd
+    end
+  done;
+  let trace = ref [] in
+  for k = a.trace_len - 1 downto 0 do
+    trace := (a.trace_time.(k), a.trace_node.(k)) :: !trace
+  done;
+  ( {
+      Result.source;
+      forwarders = Nodeset.of_increasing fwd ~len:!nfwd;
+      delivered = delivered_out;
+      completion_time = completion;
+    },
+    !trace )
+
+(* The arena, opened up for protocols with bespoke event loops (the
+   dynamic backbone's designation events): the same busy-flag
+   acquisition, generation bump and (time, node, sender) heap order as
+   [run_core], with the payload restricted to an immediate int so a
+   bespoke loop allocates nothing per event.  [with_scratch] also resets
+   the arena's flatset pool, scoping every {!Manet_graph.Flatset.t} the
+   loop creates to this one broadcast. *)
+module Scratch = struct
+  type t = { a : Arena.t; tick : int; shift : int; mask : int; n : int }
+
+  let with_scratch ?arena ~n f =
+    let a =
+      match arena with
+      | Some a when not a.Arena.busy -> a
+      | Some _ -> Arena.create ()
+      | None ->
+        let a = Arena.get () in
+        if a.Arena.busy then Arena.create () else a
+    in
+    a.busy <- true;
+    Fun.protect ~finally:(fun () -> a.Arena.busy <- false) @@ fun () ->
+    ensure_nodes a n;
+    a.gen <- a.gen + 1;
+    a.heap_len <- 0;
+    a.trace_len <- 0;
+    Manet_graph.Flatset.reset a.pool;
+    let shift = bits_for 1 n in
+    f { a; tick = a.gen; shift; mask = (1 lsl shift) - 1; n }
+
+  let pool s = s.a.Arena.pool
+  let delivered s v = s.a.Arena.delivered.(v) = s.tick
+
+  (* Marks [v] delivered; [true] iff it was not already. *)
+  let mark_delivered s v =
+    if s.a.Arena.delivered.(v) = s.tick then false
+    else begin
+      s.a.Arena.delivered.(v) <- s.tick;
+      true
+    end
+
+  let transmitted s v = s.a.Arena.transmitted.(v) = s.tick
+  let mark_transmitted s v = s.a.Arena.transmitted.(v) <- s.tick
+  let trace s ~time ~node = trace_push s.a time node
+
+  let push s ~time ~node ~sender ~payload =
+    heap_push s.a time ((node lsl s.shift) lor sender) (Obj.repr (payload : int))
+
+  let heap_empty s = s.a.Arena.heap_len = 0
+  let min_time s = s.a.Arena.heap_hi.(0)
+  let min_node s = s.a.Arena.heap_lo.(0) lsr s.shift
+  let min_sender s = s.a.Arena.heap_lo.(0) land s.mask
+  let min_payload s = (Obj.obj s.a.Arena.heap_pay.(0) : int)
+  let drop_min s = heap_pop_root s.a
+  let finish s ~source ~completion = materialize s.a ~tick:s.tick ~n:s.n ~source ~completion
+end
+
 (* The one event loop shared by every decide-style execution: the
    perfect engine ([drop] never fires), and the lossy engine ([drop]
    draws from its generator once per reception, in processing order).
@@ -221,30 +312,7 @@ let run_core ?(drop = never_drop) ?(down = never_down) ?arena g ~source ~initial
       end
     end
   done;
-  (* Materialize the caller-owned result from the arena tags. *)
-  let delivered_out = Array.make n false in
-  for v = 0 to n - 1 do
-    if Array.unsafe_get delivered v = tick then Array.unsafe_set delivered_out v true
-  done;
-  let fwd = a.fwd in
-  let nfwd = ref 0 in
-  for v = 0 to n - 1 do
-    if Array.unsafe_get transmitted v = tick then begin
-      Array.unsafe_set fwd !nfwd v;
-      incr nfwd
-    end
-  done;
-  let trace = ref [] in
-  for k = a.trace_len - 1 downto 0 do
-    trace := (a.trace_time.(k), a.trace_node.(k)) :: !trace
-  done;
-  ( {
-      Result.source;
-      forwarders = Nodeset.of_increasing fwd ~len:!nfwd;
-      delivered = delivered_out;
-      completion_time = !completion;
-    },
-    !trace )
+  materialize a ~tick ~n ~source ~completion:!completion
 
 let run_traced g ~source ~initial ~decide = run_core g ~source ~initial ~decide
 

@@ -48,6 +48,67 @@ module Arena : sig
       explicit threading. *)
 end
 
+(** The arena opened up for protocols with bespoke event loops (the
+    dynamic backbone's designation events, which {!run_core}'s
+    decide-callback shape cannot express): the same generation-tagged
+    delivered/transmitted maps, the same unboxed (time, node, sender)
+    reception heap, and the arena's {!Manet_graph.Flatset.pool} for the
+    loop's transient coverage sets.  Payloads are restricted to
+    immediate ints, so a bespoke loop pushes and pops events without
+    allocating.  Event processing order is exactly {!run_core}'s:
+    (time, node, sender) lexicographic; events carrying {e equal} keys
+    (possible when a designation and a data copy arrive together) pop in
+    unspecified relative order, so loops must keep the handling of
+    equal-key events commutative. *)
+module Scratch : sig
+  type t
+
+  val with_scratch : ?arena:Arena.t -> n:int -> (t -> 'a) -> 'a
+  (** Acquire scratch for one broadcast over an [n]-node graph: the same
+      busy-flag acquisition and silent fresh-arena fallback as
+      {!run_core} (default: the calling domain's arena), one generation
+      bump resetting the node maps, heap, trace and flatset pool.  The
+      scratch value must not escape the callback. *)
+
+  val pool : t -> Manet_graph.Flatset.pool
+  (** The arena's flatset pool, reset at acquisition: slices created
+      here live exactly as long as this broadcast. *)
+
+  val delivered : t -> int -> bool
+
+  val mark_delivered : t -> int -> bool
+  (** Marks the node delivered; [true] iff it was not already. *)
+
+  val transmitted : t -> int -> bool
+  val mark_transmitted : t -> int -> unit
+
+  val trace : t -> time:int -> node:int -> unit
+  (** Append to the transmission timeline (call once per transmission,
+      in processing order). *)
+
+  val push : t -> time:int -> node:int -> sender:int -> payload:int -> unit
+  (** Schedule an event; [payload] must fit the int together with the
+      caller's own tag bits (it is stored as an immediate). *)
+
+  val heap_empty : t -> bool
+
+  val min_time : t -> int
+  (** Field reads of the pending minimum event, valid while
+      [not (heap_empty t)]; field-wise access keeps the pop loop free of
+      tuple allocation. *)
+
+  val min_node : t -> int
+  val min_sender : t -> int
+  val min_payload : t -> int
+
+  val drop_min : t -> unit
+  (** Remove the minimum event (after reading its fields). *)
+
+  val finish : t -> source:int -> completion:int -> Result.t * (int * int) list
+  (** The caller-owned result and timeline, materialized from the
+      generation tags — the same epilogue {!run_core} uses. *)
+end
+
 val run :
   Manet_graph.Graph.t ->
   source:int ->

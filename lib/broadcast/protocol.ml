@@ -86,6 +86,15 @@ let per_broadcast ~name ~description ~family run =
     prepare = (fun env -> { members = None; run = (fun ~source ~mode -> run env ~source ~mode) });
   }
 
+let per_broadcast_prepared ~name ~description ~family prepare =
+  {
+    name;
+    description;
+    family;
+    has_build = false;
+    prepare = (fun env -> { members = None; run = prepare env });
+  }
+
 let frozen_lossy env ~run ~source ~mode =
   match (mode, env.down) with
   | (Perfect | Lossy 0.), None ->

@@ -121,6 +121,19 @@ val per_broadcast :
   t
 (** A protocol with no proactive phase: all work happens per broadcast. *)
 
+val per_broadcast_prepared :
+  name:string ->
+  description:string ->
+  family:family ->
+  (env -> source:int -> mode:mode -> Result.t * (int * int) list) ->
+  t
+(** Like {!per_broadcast}, but the protocol sees the environment once,
+    at prepare time, and returns the per-broadcast closure — the hook
+    for caching environment-derived state (e.g. the dynamic backbone's
+    CH_HOP tables) across the broadcasts of one prepared instance.
+    Still [has_build = false]: preparing must not do significant
+    construction work eagerly. *)
+
 (** {1 Execution helpers (the uniform pipeline)} *)
 
 val run_decide :

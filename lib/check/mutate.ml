@@ -78,4 +78,67 @@ let under_dominate =
       | Some dominator -> Nodeset.remove dominator full
       | None -> full)
 
-let all = [ drop_coverage_entry; drop_connector; under_dominate ]
+(* A flatset slice kept across a pool reset and retagged to the current
+   generation reads whatever the pool now holds.  The mutant reenacts
+   that bug deliberately: after each broadcast it saves its forward set
+   as a slice in a private pool; on the next broadcast (same prepared
+   instance) it reads the saved slice through [unsafe_retag] — the pool
+   has been reset and refilled with the *new* forward set by then — and
+   silently drops the nodes it "finds" from the result.  The first
+   broadcast of every prepared instance is clean, so only an oracle that
+   reuses one instance across broadcasts and compares against fresh
+   preparation (flatset-reuse) can see the fault. *)
+let stale_pool =
+  let module Flatset = Manet_graph.Flatset in
+  let module Result = Manet_broadcast.Result in
+  Protocol.per_broadcast_prepared ~name:"dynamic-2.5hop!stale-pool"
+    ~description:
+      "MUTANT: dynamic broadcast whose forward set is corrupted through a flatset slice kept \
+       across a pool reset and retagged (harness self-test; expected to fail flatset-reuse)"
+    ~family:Protocol.Source_dependent
+    (fun env ->
+      let pool = Flatset.create_pool () in
+      let saved = ref None in
+      let scratch = Array.make 64 0 in
+      let scratch = ref scratch in
+      let native ~source =
+        let r, timeline =
+          Manet_backbone.Dynamic_backbone.broadcast_traced ~arena:env.Protocol.arena
+            env.Protocol.graph
+            (Lazy.force env.Protocol.clustering)
+            Coverage.Hop25 ~source
+        in
+        let stale = !saved in
+        Flatset.reset pool;
+        (* Store this broadcast's forward set; the slice deliberately
+           outlives the next reset. *)
+        let fwd = r.Result.forwarders in
+        let len = Nodeset.cardinal fwd in
+        if Array.length !scratch < len then scratch := Array.make (2 * len) 0;
+        let i = ref 0 in
+        Nodeset.iter
+          (fun v ->
+            !scratch.(!i) <- v;
+            incr i)
+          fwd;
+        saved := Some (Flatset.of_increasing pool !scratch ~len);
+        match stale with
+        | None -> (r, timeline)
+        | Some slice ->
+          (* The seeded bug: the retagged stale slice now reads the new
+             broadcast's data through the old slice's window. *)
+          let victims =
+            Flatset.fold
+              (fun acc v ->
+                if v <> source && Nodeset.mem v fwd then Nodeset.add v acc else acc)
+              Nodeset.empty
+              (Flatset.unsafe_retag slice)
+          in
+          if Nodeset.is_empty victims then (r, timeline)
+          else
+            ( { r with Result.forwarders = Nodeset.diff fwd victims },
+              List.filter (fun (_, v) -> not (Nodeset.mem v victims)) timeline )
+      in
+      fun ~source ~mode -> Protocol.frozen_lossy env ~run:native ~source ~mode)
+
+let all = [ drop_coverage_entry; drop_connector; under_dominate; stale_pool ]

@@ -373,6 +373,48 @@ let check_arena_reuse ctx (p : Protocol.t) =
     failf "%s: lossy results (loss %.3f) differ across arena states" p.Protocol.name loss
   else Pass
 
+(* Flatset-pool reuse transparency: the dynamic backbone's per-broadcast
+   coverage and forward sets live in the arena's flatset pool, retired
+   between broadcasts by a generation bump.  Running several broadcasts
+   back-to-back on one prepared instance (one arena, one pool, stale
+   slices from earlier broadcasts still in storage) must be bit-identical
+   to preparing afresh — fresh arena, empty pool — for every source.  A
+   slice surviving a pool reset with a forged generation tag is exactly
+   the corruption this oracle exists to catch (see the [stale-pool]
+   mutant).  Probabilistic protocols are skipped: their per-broadcast
+   generator draws desynchronize the shared and fresh environments. *)
+let check_flatset_reuse ctx (p : Protocol.t) =
+  if p.Protocol.family = Protocol.Probabilistic then
+    Skip "probabilistic: per-broadcast draws desync shared vs fresh environments"
+  else begin
+    let module Engine = Manet_broadcast.Engine in
+    let g = ctx.case.Case.graph in
+    let n = Graph.n g in
+    let sources = List.sort_uniq Int.compare [ ctx.case.Case.source; 0; n - 1 ] in
+    let make_env () =
+      Protocol.make_env ~clustering:ctx.clustering
+        ~rng:(Case.case_rng ctx.case ~salt:("flatset:" ^ p.Protocol.name))
+        ~arena:(Engine.Arena.create ()) g
+    in
+    let shared = p.Protocol.prepare (make_env ()) in
+    let rec scan = function
+      | [] -> Pass
+      | source :: rest ->
+        let rr, tr = shared.Protocol.run ~source ~mode:Protocol.Perfect in
+        let rf, tf =
+          (p.Protocol.prepare (make_env ())).Protocol.run ~source ~mode:Protocol.Perfect
+        in
+        if not (result_equal rr rf) then
+          failf "%s: broadcast from %d on the reused flatset pool differs from a fresh arena"
+            p.Protocol.name source
+        else if tr <> tf then
+          failf "%s: broadcast from %d traced different timelines on reused vs fresh pools"
+            p.Protocol.name source
+        else scan rest
+    in
+    scan sources
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Fault-tolerance oracles (the kmcds family's contracts)             *)
 (* ------------------------------------------------------------------ *)
@@ -558,6 +600,13 @@ let all =
         "broadcasts are bit-identical on a fresh, the domain's, and a dirty reused engine \
          arena, under perfect and lossy engines";
       check = Per_protocol check_arena_reuse;
+    };
+    {
+      name = "flatset-reuse";
+      description =
+        "broadcasts run back-to-back on one reused flatset pool are bit-identical to \
+         fresh-arena runs per source (stale-slice detection)";
+      check = Per_protocol check_flatset_reuse;
     };
     {
       name = "k-connectivity";

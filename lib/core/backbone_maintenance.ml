@@ -29,7 +29,7 @@ let refresh_head t g cl h =
   Hashtbl.replace t.selections h sel;
   (* one GATEWAY message by the head, forwarded by each selected 1-hop
      gateway (TTL 2) *)
-  1 + Nodeset.cardinal (Nodeset.inter sel (Graph.open_neighborhood g h))
+  1 + Graph.fold_neighbors g h (fun acc u -> if Nodeset.mem u sel then acc + 1 else acc) 0
 
 let head_of_array cl n = Array.init n (fun v -> Clustering.head_of cl v)
 

@@ -31,8 +31,9 @@ let measure g mode =
         let selected = Gateway_selection.select cov in
         all_gateways := Nodeset.union !all_gateways selected;
         let one_hop =
-          Nodeset.cardinal
-            (Nodeset.inter selected (Manet_graph.Graph.open_neighborhood g h))
+          Graph.fold_neighbors g h
+            (fun acc u -> if Nodeset.mem u selected then acc + 1 else acc)
+            0
         in
         gateway := !gateway + 1 + one_hop)
     (Clustering.heads cl);

@@ -1,7 +1,8 @@
 module Graph = Manet_graph.Graph
-module Nodeset = Manet_graph.Nodeset
+module Flatset = Manet_graph.Flatset
 module Clustering = Manet_cluster.Clustering
 module Coverage = Manet_coverage.Coverage
+module Scratch = Manet_broadcast.Engine.Scratch
 
 type pruning = Sender_only | Coverage_piggyback | Coverage_and_relay
 
@@ -9,17 +10,6 @@ let pp_pruning fmt = function
   | Sender_only -> Format.pp_print_string fmt "sender-only"
   | Coverage_piggyback -> Format.pp_print_string fmt "coverage"
   | Coverage_and_relay -> Format.pp_print_string fmt "coverage+relay"
-
-(* What the paper piggybacks with the packet: the upstream clusterhead and
-   its coverage set.  [relayer_heads] is the 1-hop clusterhead set of the
-   transmitting node, enabling the N(r) exclusion (a clusterhead
-   transmitter has no neighboring clusterheads, so it is empty on
-   head-to-gateway hops). *)
-type packet = {
-  upstream : int option;
-  upstream_coverage : Nodeset.t;
-  relayer_heads : Nodeset.t;
-}
 
 (* Event-loop design.  A clusterhead transmits on its first reception.  A
    gateway selected by clusterhead h relays exactly once, at
@@ -32,113 +22,121 @@ type packet = {
    must still complete (its targets already hold the packet data from the
    gateway's earlier transmission of this same broadcast; only the
    designation, a 2-hop control signal, still travels).  See DESIGN.md,
-   "Dynamic broadcast". *)
-module H = Manet_sim.Heap.Make (Manet_sim.Event_key)
+   "Dynamic broadcast".
 
-type event = Reception of packet | Designate of packet
+   The loop runs on {!Manet_broadcast.Engine.Scratch}, so the whole
+   packet state rides in the event's int payload: bit 0 distinguishes a
+   designation from a data copy, the remaining bits carry the upstream
+   clusterhead id + 1 (0 encodes "no upstream", the non-clusterhead
+   source's transmission).  Everything the paper piggybacks alongside —
+   the upstream's coverage set, the relaying node's 1-hop clusterheads
+   for the N(r) exclusion — is recovered at the receiver from the shared
+   coverage cache's rows, keyed by the upstream id and the event's
+   sender.  A designation and a data copy from the same clusterhead
+   reach a direct-neighbor gateway under {e equal} event keys; the two
+   handlers commute (gateways are never clusterheads, and both orders
+   transmit once at the same time), satisfying the Scratch contract. *)
 
-let broadcast_traced ?(pruning = Coverage_and_relay) ?cache g cl mode ~source =
+let designate_bit = 1
+
+let encode ~upstream = (upstream + 1) lsl 1
+
+(* Binary search in a sorted cache row ([ch_hop1] / [covered_row]). *)
+let mem_row (row : int array) x =
+  let lo = ref 0 and hi = ref (Array.length row) in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if row.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length row && row.(!lo) = x
+
+let broadcast_traced ?(pruning = Coverage_and_relay) ?cache ?arena g cl mode ~source =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Dynamic_backbone.broadcast: source out of range";
   let cache = match cache with Some c -> c | None -> Coverage.Cache.create g cl mode in
   let coverages = Coverage.Cache.coverages cache in
-  (* Relay events reuse the cache's per-node 1-hop clusterhead sets
-     instead of rebuilding a Nodeset per transmission. *)
-  let neighbor_heads v = Coverage.Cache.neighbor_heads cache v in
   let coverage_of h =
     match coverages.(h) with
     | Some c -> c
     | None -> invalid_arg "Dynamic_backbone.broadcast: stale coverage array"
   in
-  let delivered = Array.make n false in
-  let transmitted = Array.make n false in
-  let forwarders = ref Nodeset.empty in
-  let completion = ref 0 in
-  let events = H.create () in
-  let trace = ref [] in
-  let transmit time v pkt =
-    transmitted.(v) <- true;
-    forwarders := Nodeset.add v !forwarders;
-    trace := (time, v) :: !trace;
-    Graph.iter_neighbors g v (fun u ->
-        H.push events (Manet_sim.Event_key.reception ~time:(time + 1) ~node:u ~sender:v) (Reception pkt))
-  in
-  let prune_targets h pkt =
-    let targets = Coverage.covered (coverage_of h) in
-    match pkt with
-    | None -> targets
-    | Some p ->
-      let drop_upstream t =
-        match p.upstream with Some u -> Nodeset.remove u t | None -> t
+  Scratch.with_scratch ?arena ~n (fun scr ->
+      let pool = Scratch.pool scr in
+      let completion = ref 0 in
+      let transmit time v ~upstream =
+        Scratch.mark_transmitted scr v;
+        Scratch.trace scr ~time ~node:v;
+        let payload = encode ~upstream in
+        Graph.iter_neighbors g v (fun u ->
+            Scratch.push scr ~time:(time + 1) ~node:u ~sender:v ~payload)
       in
-      (match pruning with
-      | Sender_only -> drop_upstream targets
-      | Coverage_piggyback -> drop_upstream (Nodeset.diff targets p.upstream_coverage)
-      | Coverage_and_relay ->
-        Nodeset.diff (drop_upstream (Nodeset.diff targets p.upstream_coverage)) p.relayer_heads)
-  in
-  let head_transmit time h pkt =
-    let cov = coverage_of h in
-    let targets = prune_targets h pkt in
-    let forwards = Gateway_selection.select cov ~targets in
-    let outgoing =
-      {
-        upstream = Some h;
-        upstream_coverage = Coverage.covered cov;
-        relayer_heads = Nodeset.empty;
-      }
-    in
-    (* Designation reaches a selected gateway together with the packet:
-       one hop for direct neighbors of h, two hops for the second nodes of
-       connector pairs. *)
-    Nodeset.iter
-      (fun x ->
-        let hops = if Graph.mem_edge g h x then 1 else 2 in
-        H.push events (Manet_sim.Event_key.reception ~time:(time + hops) ~node:x ~sender:h) (Designate outgoing))
-      forwards;
-    transmit time h outgoing
-  in
-  (* Source transmission. *)
-  if Clustering.is_head cl source then head_transmit 0 source None
-  else
-    transmit 0 source
-      {
-        upstream = None;
-        upstream_coverage = Nodeset.empty;
-        relayer_heads = neighbor_heads source;
-      };
-  delivered.(source) <- true;
-  (* Event loop. *)
-  let rec drain () =
-    match H.pop events with
-    | None -> ()
-    | Some ({ Manet_sim.Event_key.time; node = receiver; _ }, ev) ->
-      (match ev with
-      | Reception pkt ->
-        if not delivered.(receiver) then begin
-          delivered.(receiver) <- true;
-          completion := time
-        end;
-        if Clustering.is_head cl receiver && not transmitted.(receiver) then
-          head_transmit time receiver (Some pkt)
-      | Designate pkt ->
-        (* The designated gateway holds the packet data (its designating
-           clusterhead is within 2 hops and every node on the connector
-           path has transmitted this broadcast or does so now). *)
-        if not delivered.(receiver) then begin
-          delivered.(receiver) <- true;
-          completion := time
-        end;
-        if not transmitted.(receiver) then
-          transmit time receiver { pkt with relayer_heads = neighbor_heads receiver });
-      drain ()
-  in
-  drain ();
-  ( { Manet_broadcast.Result.source; forwarders = !forwarders; delivered; completion_time = !completion },
-    List.rev !trace )
+      (* One relaying clusterhead: prune targets by upstream history,
+         select gateways, designate them, transmit.  [upstream] is the
+         packet's upstream clusterhead (-1 for none), [relayer] the node
+         whose transmission delivered the packet (-1 only for the
+         source-clusterhead case, which prunes nothing). *)
+      let head_transmit time h ~upstream ~relayer =
+        let cov = coverage_of h in
+        let targets =
+          if relayer < 0 then None
+          else begin
+            (* C(h) - C(u) - {u} - N(r), evaluated as a membership
+               predicate over the cache's sorted rows: nothing is
+               materialised.  [ch_hop1] is empty for clusterhead
+               relayers, matching the paper's observation that
+               head-to-gateway hops exclude nothing. *)
+            let cov_u =
+              if upstream >= 0 && pruning <> Sender_only then
+                Coverage.Cache.covered_row cache upstream
+              else [||]
+            in
+            let hop_r =
+              if pruning = Coverage_and_relay then Coverage.Cache.ch_hop1 cache relayer
+              else [||]
+            in
+            Some
+              (fun ch -> ch <> upstream && (not (mem_row cov_u ch)) && not (mem_row hop_r ch))
+          end
+        in
+        let forwards = Gateway_selection.select_flat ?targets ~pool cov in
+        (* Designation reaches a selected gateway together with the
+           packet: one hop for direct neighbors of h, two hops for the
+           second nodes of connector pairs. *)
+        let payload = encode ~upstream:h lor designate_bit in
+        Flatset.iter
+          (fun x ->
+            let hops = if Graph.mem_edge g h x then 1 else 2 in
+            Scratch.push scr ~time:(time + hops) ~node:x ~sender:h ~payload)
+          forwards;
+        transmit time h ~upstream:h
+      in
+      (* Source transmission. *)
+      if Clustering.is_head cl source then head_transmit 0 source ~upstream:(-1) ~relayer:(-1)
+      else transmit 0 source ~upstream:(-1);
+      ignore (Scratch.mark_delivered scr source : bool);
+      (* Event loop. *)
+      while not (Scratch.heap_empty scr) do
+        let time = Scratch.min_time scr in
+        let receiver = Scratch.min_node scr in
+        let sender = Scratch.min_sender scr in
+        let payload = Scratch.min_payload scr in
+        Scratch.drop_min scr;
+        if Scratch.mark_delivered scr receiver then completion := time;
+        let upstream = (payload lsr 1) - 1 in
+        if payload land designate_bit <> 0 then begin
+          (* The designated gateway holds the packet data (its
+             designating clusterhead is within 2 hops and every node on
+             the connector path has transmitted this broadcast or does
+             so now). *)
+          if not (Scratch.transmitted scr receiver) then transmit time receiver ~upstream
+        end
+        else if Clustering.is_head cl receiver && not (Scratch.transmitted scr receiver) then
+          head_transmit time receiver ~upstream ~relayer:sender
+      done;
+      Scratch.finish scr ~source ~completion:!completion)
 
-let broadcast ?pruning ?cache g cl mode ~source =
-  fst (broadcast_traced ?pruning ?cache g cl mode ~source)
+let broadcast ?pruning ?cache ?arena g cl mode ~source =
+  fst (broadcast_traced ?pruning ?cache ?arena g cl mode ~source)
 
 let forward_set ?pruning g cl mode ~source =
   (broadcast ?pruning g cl mode ~source).Manet_broadcast.Result.forwarders
@@ -163,11 +161,21 @@ let protocol ?(pruning = Coverage_and_relay) mode =
     | Coverage_piggyback ->
       "dynamic backbone ablation: prune by the upstream's piggybacked coverage set only"
   in
-  Manet_broadcast.Protocol.per_broadcast
+  Manet_broadcast.Protocol.per_broadcast_prepared
     ~name:("dynamic-" ^ mode_tag mode ^ suffix)
     ~description ~family:Manet_broadcast.Protocol.Source_dependent
-    (fun env ~source ~mode:m ->
+    (fun env ->
       let open Manet_broadcast.Protocol in
-      frozen_lossy env ~source ~mode:m
-        ~run:(fun ~source ->
-          broadcast_traced ~pruning env.graph (Lazy.force env.clustering) mode ~source))
+      (* One CH_HOP cache per prepared environment: the tables depend
+         only on (graph, clustering, mode), so every broadcast of the
+         prepared protocol shares them.  Lazy because preparing must
+         stay cheap for consumers that list protocols without running
+         them. *)
+      let cache =
+        lazy (Coverage.Cache.create env.graph (Lazy.force env.clustering) mode)
+      in
+      fun ~source ~mode:m ->
+        frozen_lossy env ~source ~mode:m
+          ~run:(fun ~source ->
+            broadcast_traced ~pruning ~cache:(Lazy.force cache) ~arena:env.arena env.graph
+              (Lazy.force env.clustering) mode ~source))

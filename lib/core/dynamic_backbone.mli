@@ -41,6 +41,7 @@ val pp_pruning : Format.formatter -> pruning -> unit
 val broadcast :
   ?pruning:pruning ->
   ?cache:Manet_coverage.Coverage.Cache.t ->
+  ?arena:Manet_broadcast.Engine.Arena.t ->
   Manet_graph.Graph.t ->
   Manet_cluster.Clustering.t ->
   Manet_coverage.Coverage.mode ->
@@ -50,11 +51,15 @@ val broadcast :
     quantity of the paper's Figures 7 and 8 (dynamic backbone).
     [cache] shares precomputed CH_HOP tables and coverage sets (it must
     have been created from the same graph, clustering, and mode); pass it
-    when running many broadcasts over one topology. *)
+    when running many broadcasts over one topology.  [arena] supplies
+    the engine scratch the event loop and its flat coverage sets run in
+    (default: the calling domain's arena); results are bit-identical for
+    any arena state. *)
 
 val broadcast_traced :
   ?pruning:pruning ->
   ?cache:Manet_coverage.Coverage.Cache.t ->
+  ?arena:Manet_broadcast.Engine.Arena.t ->
   Manet_graph.Graph.t ->
   Manet_cluster.Clustering.t ->
   Manet_coverage.Coverage.mode ->

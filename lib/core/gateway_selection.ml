@@ -1,85 +1,280 @@
 module Nodeset = Manet_graph.Nodeset
+module Flatset = Manet_graph.Flatset
 module Coverage = Manet_coverage.Coverage
 
 (* The candidate table is a set of parallel arrays indexed by candidate
-   slot; candidates (the first-hop connectors) are collected, sorted and
-   deduplicated up front, so a slot lookup is a binary search instead of
-   a hash.  Targets are referred to by their index in the (sorted) c2/c3
-   entry lists, with liveness flags and per-candidate live cover counts
-   maintained incrementally as targets get covered — each greedy round
-   is then a linear scan over the candidates instead of a set
-   intersection per candidate. *)
+   slot; candidates (the first-hop connectors) are collected, deduplicated
+   and sorted up front, so a slot lookup is one array read.  Targets are
+   referred to by their index in the (sorted) c2/c3 entry lists, with
+   liveness flags and per-candidate live cover counts maintained
+   incrementally as targets get covered — each greedy round is then a
+   linear scan over the candidates instead of a set intersection per
+   candidate.
 
-let select ?targets (cov : Coverage.t) =
-  let c2 = Array.of_list cov.c2 in
-  let c3 = Array.of_list cov.c3 in
-  let live ch = match targets with None -> true | Some t -> Nodeset.mem ch t in
-  let live2 = Array.map (fun (ch, _) -> live ch) c2 in
-  let live3 = Array.map (fun (ch, _) -> live ch) c3 in
-  let n2_live = ref 0 in
-  Array.iter (fun l -> if l then incr n2_live) live2;
-  (* Distinct candidates, ascending — the greedy scan order. *)
-  let cands =
-    let buf = ref [] in
-    Array.iteri
-      (fun i (_, connectors) ->
-        if live2.(i) then Array.iter (fun v -> buf := v :: !buf) connectors)
-      c2;
-    Array.iteri
-      (fun i (_, pairs) ->
-        if live3.(i) then Array.iter (fun (v, _) -> buf := v :: !buf) pairs)
-      c3;
-    Array.of_list (List.sort_uniq Int.compare !buf)
-  in
-  let n_cands = Array.length cands in
-  let slot_of v =
-    let lo = ref 0 and hi = ref (n_cands - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if cands.(mid) < v then lo := mid + 1 else hi := mid
-    done;
-    !lo
-  in
-  let live_direct = Array.make n_cands 0 in
-  let live_indirect = Array.make n_cands 0 in
-  let direct = Array.make n_cands [] in
-  (* (c3 index, second hop w) in reverse encounter order *)
-  let indirect = Array.make n_cands [] in
-  let rev2 = Array.make (Array.length c2) [] in
-  let rev3 = Array.make (Array.length c3) [] in
-  Array.iteri
-    (fun i (_, connectors) ->
-      if live2.(i) then
-        Array.iter
-          (fun v ->
-            let s = slot_of v in
-            direct.(s) <- i :: direct.(s);
-            live_direct.(s) <- live_direct.(s) + 1;
-            rev2.(i) <- s :: rev2.(i))
-          connectors)
-    c2;
-  Array.iteri
-    (fun i (_, pairs) ->
-      if live3.(i) then
+   All working storage lives in a domain-local [scratch]: stamp-tagged
+   node maps (reset is a counter bump), chain-linked entry pools
+   replacing the per-slot lists, and an output buffer.  One selection
+   allocates nothing beyond its result, which is what lets the dynamic
+   broadcast call this once per relaying clusterhead without feeding the
+   minor heap.  The chains replicate the original per-slot lists exactly
+   — prepend during the build scan, walk head-first — because one order
+   is semantically load-bearing: when a candidate v reaches the same
+   3-hop target through several pairs (v, w), the walk order decides
+   which w is pulled in. *)
+
+type scratch = {
+  mutable stamp : int;
+  (* node-indexed maps, grown to the largest id seen *)
+  mutable cand_tag : int array;  (** node tagged iff collected as candidate *)
+  mutable slotv : int array;  (** candidate slot of a tagged node *)
+  mutable sel_tag : int array;  (** node tagged iff selected *)
+  (* slot-indexed *)
+  mutable cands : int array;
+  mutable live_direct : int array;
+  mutable live_indirect : int array;
+  mutable dhead : int array;  (** direct-entry chain per slot *)
+  mutable ihead : int array;  (** indirect-entry chain per slot *)
+  (* c2/c3-entry-indexed *)
+  mutable live2 : bool array;
+  mutable r2head : int array;  (** direct-entry chain per c2 index *)
+  mutable live3 : bool array;
+  mutable r3head : int array;  (** indirect-entry chain per c3 index *)
+  (* direct entry pool: one entry per (c2 index, connector) *)
+  mutable d_i : int array;
+  mutable d_slot : int array;
+  mutable d_next_slot : int array;  (** next entry in the slot's chain *)
+  mutable d_next_i : int array;  (** next entry in the c2 index's chain *)
+  (* indirect entry pool: one entry per (c3 index, pair) *)
+  mutable i_i : int array;
+  mutable i_w : int array;
+  mutable i_slot : int array;
+  mutable i_next_slot : int array;
+  mutable i_next_i : int array;
+  (* selected nodes, in selection order *)
+  mutable out : int array;
+}
+
+let create_scratch () =
+  {
+    stamp = 0;
+    cand_tag = [||];
+    slotv = [||];
+    sel_tag = [||];
+    cands = [||];
+    live_direct = [||];
+    live_indirect = [||];
+    dhead = [||];
+    ihead = [||];
+    live2 = [||];
+    r2head = [||];
+    live3 = [||];
+    r3head = [||];
+    d_i = [||];
+    d_slot = [||];
+    d_next_slot = [||];
+    d_next_i = [||];
+    i_i = [||];
+    i_w = [||];
+    i_slot = [||];
+    i_next_slot = [||];
+    i_next_i = [||];
+    out = [||];
+  }
+
+let dls = Domain.DLS.new_key create_scratch
+
+let grown a size init =
+  if Array.length a >= size then a
+  else begin
+    let b = Array.make (max size ((2 * Array.length a) + 8)) init in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grown_bool a size = if Array.length a >= size then a else Array.make (max size 8) false
+
+(* One greedy selection; [live] decides which coverage entries are
+   targets.  Selected nodes are written to [scr.out] in ascending order;
+   returns their count. *)
+let run_select scr (cov : Coverage.t) ~live =
+  scr.stamp <- scr.stamp + 1;
+  let stamp = scr.stamp in
+  (* Sizing pass: largest node id touched, entry counts, live flags. *)
+  let max_id = ref (-1) in
+  let seen v = if v > !max_id then max_id := v in
+  let len2 = ref 0 and len3 = ref 0 in
+  let nd = ref 0 and ni = ref 0 in
+  List.iter
+    (fun (ch, connectors) ->
+      if live ch then begin
+        nd := !nd + Array.length connectors;
+        Array.iter seen connectors
+      end;
+      incr len2)
+    cov.c2;
+  List.iter
+    (fun (ch, pairs) ->
+      if live ch then begin
+        ni := !ni + Array.length pairs;
         Array.iter
           (fun (v, w) ->
-            let s = slot_of v in
-            indirect.(s) <- (i, w) :: indirect.(s);
+            seen v;
+            seen w)
+          pairs
+      end;
+      incr len3)
+    cov.c3;
+  scr.cand_tag <- grown scr.cand_tag (!max_id + 1) (-1);
+  scr.slotv <- grown scr.slotv (!max_id + 1) 0;
+  scr.sel_tag <- grown scr.sel_tag (!max_id + 1) (-1);
+  let cap_cands = !nd + !ni in
+  scr.cands <- grown scr.cands cap_cands 0;
+  scr.live_direct <- grown scr.live_direct cap_cands 0;
+  scr.live_indirect <- grown scr.live_indirect cap_cands 0;
+  scr.dhead <- grown scr.dhead cap_cands 0;
+  scr.ihead <- grown scr.ihead cap_cands 0;
+  scr.live2 <- grown_bool scr.live2 !len2;
+  scr.r2head <- grown scr.r2head !len2 0;
+  scr.live3 <- grown_bool scr.live3 !len3;
+  scr.r3head <- grown scr.r3head !len3 0;
+  scr.d_i <- grown scr.d_i !nd 0;
+  scr.d_slot <- grown scr.d_slot !nd 0;
+  scr.d_next_slot <- grown scr.d_next_slot !nd 0;
+  scr.d_next_i <- grown scr.d_next_i !nd 0;
+  scr.i_i <- grown scr.i_i !ni 0;
+  scr.i_w <- grown scr.i_w !ni 0;
+  scr.i_slot <- grown scr.i_slot !ni 0;
+  scr.i_next_slot <- grown scr.i_next_slot !ni 0;
+  scr.i_next_i <- grown scr.i_next_i !ni 0;
+  scr.out <- grown scr.out (cap_cands + !ni + (2 * !len3)) 0;
+  let cand_tag = scr.cand_tag
+  and slotv = scr.slotv
+  and sel_tag = scr.sel_tag
+  and cands = scr.cands
+  and live_direct = scr.live_direct
+  and live_indirect = scr.live_indirect
+  and dhead = scr.dhead
+  and ihead = scr.ihead
+  and live2 = scr.live2
+  and r2head = scr.r2head
+  and live3 = scr.live3
+  and r3head = scr.r3head
+  and out = scr.out in
+  (* Distinct candidates, ascending — the greedy scan order. *)
+  let n_cands = ref 0 in
+  let add_cand v =
+    if cand_tag.(v) <> stamp then begin
+      cand_tag.(v) <- stamp;
+      cands.(!n_cands) <- v;
+      incr n_cands
+    end
+  in
+  let n2_live = ref 0 in
+  let i2 = ref 0 in
+  List.iter
+    (fun (ch, connectors) ->
+      let l = live ch in
+      live2.(!i2) <- l;
+      if l then begin
+        incr n2_live;
+        Array.iter add_cand connectors
+      end;
+      incr i2)
+    cov.c2;
+  let i3 = ref 0 in
+  List.iter
+    (fun (ch, pairs) ->
+      let l = live ch in
+      live3.(!i3) <- l;
+      if l then Array.iter (fun (v, _) -> add_cand v) pairs;
+      incr i3)
+    cov.c3;
+  let n_cands = !n_cands in
+  Flatset.sort_ints cands ~lo:0 ~hi:n_cands;
+  for s = 0 to n_cands - 1 do
+    slotv.(cands.(s)) <- s;
+    live_direct.(s) <- 0;
+    live_indirect.(s) <- 0;
+    dhead.(s) <- -1;
+    ihead.(s) <- -1
+  done;
+  (* Entry chains: per-slot (the covers of a candidate) and per-target
+     (the slots to decrement when the target gets covered). *)
+  let nd = ref 0 in
+  let i2 = ref 0 in
+  List.iter
+    (fun (_, connectors) ->
+      let i = !i2 in
+      if live2.(i) then begin
+        r2head.(i) <- -1;
+        Array.iter
+          (fun v ->
+            let s = slotv.(v) in
+            let e = !nd in
+            scr.d_i.(e) <- i;
+            scr.d_slot.(e) <- s;
+            scr.d_next_slot.(e) <- dhead.(s);
+            dhead.(s) <- e;
+            live_direct.(s) <- live_direct.(s) + 1;
+            scr.d_next_i.(e) <- r2head.(i);
+            r2head.(i) <- e;
+            incr nd)
+          connectors
+      end;
+      incr i2)
+    cov.c2;
+  let ni = ref 0 in
+  let i3 = ref 0 in
+  List.iter
+    (fun (_, pairs) ->
+      let i = !i3 in
+      if live3.(i) then begin
+        r3head.(i) <- -1;
+        Array.iter
+          (fun (v, w) ->
+            let s = slotv.(v) in
+            let e = !ni in
+            scr.i_i.(e) <- i;
+            scr.i_w.(e) <- w;
+            scr.i_slot.(e) <- s;
+            scr.i_next_slot.(e) <- ihead.(s);
+            ihead.(s) <- e;
             live_indirect.(s) <- live_indirect.(s) + 1;
-            rev3.(i) <- s :: rev3.(i))
-          pairs)
-    c3;
-  let selected = ref Nodeset.empty in
+            scr.i_next_i.(e) <- r3head.(i);
+            r3head.(i) <- e;
+            incr ni)
+          pairs
+      end;
+      incr i3)
+    cov.c3;
+  let n_out = ref 0 in
+  let take v =
+    if sel_tag.(v) <> stamp then begin
+      sel_tag.(v) <- stamp;
+      out.(!n_out) <- v;
+      incr n_out
+    end
+  in
   let cover2 i =
     if live2.(i) then begin
       live2.(i) <- false;
       decr n2_live;
-      List.iter (fun s -> live_direct.(s) <- live_direct.(s) - 1) rev2.(i)
+      let e = ref r2head.(i) in
+      while !e >= 0 do
+        let s = scr.d_slot.(!e) in
+        live_direct.(s) <- live_direct.(s) - 1;
+        e := scr.d_next_i.(!e)
+      done
     end
   in
   let cover3 i =
     live3.(i) <- false;
-    List.iter (fun s -> live_indirect.(s) <- live_indirect.(s) - 1) rev3.(i)
+    let e = ref r3head.(i) in
+    while !e >= 0 do
+      let s = scr.i_slot.(!e) in
+      live_indirect.(s) <- live_indirect.(s) - 1;
+      e := scr.i_next_i.(!e)
+    done
   in
   (* Phase 1: greedy direct coverage of the 2-hop targets.  Scanning in
      ascending id with strict improvement implements the greedy order:
@@ -102,43 +297,66 @@ let select ?targets (cov : Coverage.t) =
       continue_ := false
     else begin
       let s = !best in
-      selected := Nodeset.add cands.(s) !selected;
-      List.iter cover2 direct.(s);
-      List.iter
-        (fun (i, w) ->
-          if live3.(i) then begin
-            cover3 i;
-            selected := Nodeset.add w !selected
-          end)
-        indirect.(s)
+      take cands.(s);
+      let e = ref dhead.(s) in
+      while !e >= 0 do
+        cover2 scr.d_i.(!e);
+        e := scr.d_next_slot.(!e)
+      done;
+      let e = ref ihead.(s) in
+      while !e >= 0 do
+        let i = scr.i_i.(!e) in
+        if live3.(i) then begin
+          cover3 i;
+          take scr.i_w.(!e)
+        end;
+        e := scr.i_next_slot.(!e)
+      done
     end
   done;
   (* Phase 2: connect the remaining 3-hop targets with pairs, preferring
      pairs that reuse already-selected gateways, then the smallest pair. *)
-  let pair_score (v, w) =
-    (if Nodeset.mem v !selected then 1 else 0) + if Nodeset.mem w !selected then 1 else 0
-  in
-  let pair_lt (v1, w1) (v2, w2) = v1 < v2 || (v1 = v2 && w1 < w2) in
-  Array.iteri
-    (fun i (_, pairs) ->
+  let i3 = ref 0 in
+  List.iter
+    (fun (_, pairs) ->
+      let i = !i3 in
       if live3.(i) then begin
-        let best = ref None in
+        let bv = ref (-1) and bw = ref (-1) and bs = ref (-1) in
         Array.iter
-          (fun p ->
-            match !best with
-            | None -> best := Some p
-            | Some b ->
-              let sp = pair_score p and sb = pair_score b in
-              if sp > sb || (sp = sb && pair_lt p b) then best := Some p)
+          (fun (v, w) ->
+            let sp =
+              (if sel_tag.(v) = stamp then 1 else 0) + if sel_tag.(w) = stamp then 1 else 0
+            in
+            if !bv < 0 || sp > !bs || (sp = !bs && (v < !bv || (v = !bv && w < !bw))) then begin
+              bv := v;
+              bw := w;
+              bs := sp
+            end)
           pairs;
-        match !best with
-        | Some (v, w) ->
+        if !bv >= 0 then begin
           live3.(i) <- false;
-          selected := Nodeset.add v (Nodeset.add w !selected)
-        | None -> ()
-      end)
-    c3;
-  !selected
+          take !bv;
+          take !bw
+        end
+      end;
+      incr i3)
+    cov.c3;
+  Flatset.sort_ints out ~lo:0 ~hi:!n_out;
+  !n_out
+
+let select ?targets (cov : Coverage.t) =
+  let scr = Domain.DLS.get dls in
+  let live =
+    match targets with None -> fun _ -> true | Some t -> fun ch -> Nodeset.mem ch t
+  in
+  let k = run_select scr cov ~live in
+  Nodeset.of_increasing scr.out ~len:k
+
+let select_flat ?targets ~pool (cov : Coverage.t) =
+  let scr = Domain.DLS.get dls in
+  let live = match targets with None -> fun _ -> true | Some f -> f in
+  let k = run_select scr cov ~live in
+  Flatset.of_increasing pool scr.out ~len:k
 
 (* Batched selection over every clusterhead of a topology: the same
    greedy routine, with the candidate slot map, the per-head selected

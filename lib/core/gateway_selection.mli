@@ -28,6 +28,18 @@ val select :
     set — equivalent to [~targets:(Coverage.covered cov)] without
     materialising the set. *)
 
+val select_flat :
+  ?targets:(int -> bool) ->
+  pool:Manet_graph.Flatset.pool ->
+  Manet_coverage.Coverage.t ->
+  Manet_graph.Flatset.t
+(** The allocation-free variant for the dynamic-broadcast hot path: the
+    target set is a predicate over clusterhead ids, and the selection is
+    returned as a flat slice on [pool].  Selects exactly what {!select}
+    selects for the corresponding [targets] set; all working storage is
+    domain-local scratch reused across calls, so a call allocates
+    nothing beyond the returned slice's pool storage. *)
+
 val select_all :
   Manet_coverage.Coverage.t option array -> n:int -> Manet_graph.Nodeset.t
 (** [select_all coverages ~n] (with [n] the number of nodes) is the

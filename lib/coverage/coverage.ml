@@ -276,6 +276,7 @@ module Cache = struct
     mutable hop2 : int array array option;  (** rows packed as [c lsl shift lor w] *)
     mutable covs : coverage option array option;
     head_sets : Nodeset.t option array;
+    covered_rows : int array option array;
   }
 
   let create g cl mode =
@@ -312,6 +313,7 @@ module Cache = struct
       hop2 = None;
       covs = None;
       head_sets = Array.make (Graph.n g) None;
+      covered_rows = Array.make (Graph.n g) None;
     }
 
   let graph t = t.graph
@@ -365,6 +367,44 @@ module Cache = struct
       let s = Array.fold_left (fun s u -> Nodeset.add u s) Nodeset.empty t.hop1.(v) in
       t.head_sets.(v) <- Some s;
       s
+
+  (* C(v) as a flat sorted row — the dynamic broadcast's pruning input.
+     The c2 and c3 key lists are each increasing and mutually disjoint,
+     so one merge materializes the union; memoised per head ([[||]] for
+     non-heads), and callers must not mutate the returned array. *)
+  let covered_row t v =
+    match t.covered_rows.(v) with
+    | Some r -> r
+    | None ->
+      let r =
+        match (coverages t).(v) with
+        | None -> [||]
+        | Some cov ->
+          let out = Array.make (List.length cov.c2 + List.length cov.c3) 0 in
+          let rec merge k l2 l3 =
+            match (l2, l3) with
+            | [], [] -> ()
+            | (c, _) :: t2, [] ->
+              out.(k) <- c;
+              merge (k + 1) t2 []
+            | [], (c, _) :: t3 ->
+              out.(k) <- c;
+              merge (k + 1) [] t3
+            | (c2, _) :: t2, (c3, _) :: t3 ->
+              if c2 < c3 then begin
+                out.(k) <- c2;
+                merge (k + 1) t2 l3
+              end
+              else begin
+                out.(k) <- c3;
+                merge (k + 1) l2 t3
+              end
+          in
+          merge 0 cov.c2 cov.c3;
+          out
+      in
+      t.covered_rows.(v) <- Some r;
+      r
 end
 
 let all g cl mode = Cache.coverages (Cache.create g cl mode)

@@ -104,6 +104,12 @@ module Cache : sig
   val neighbor_heads : t -> int -> Manet_graph.Nodeset.t
   (** The node's adjacent clusterheads as a set (the relayer-heads
       exclusion set of the dynamic broadcast); memoised per node. *)
+
+  val covered_row : t -> int -> int array
+  (** C(v) = C2(v) union C3(v) as a flat strictly increasing row —
+      equal, element for element, to {!val-covered} of the head's
+      coverage set; [[||]] for non-clusterheads.  Memoised; the returned
+      array is the cached one — callers must not mutate it. *)
 end
 
 val all : Manet_graph.Graph.t -> Manet_cluster.Clustering.t -> mode -> t option array

@@ -114,8 +114,8 @@ catalog on seeded random topologies; runs are deterministic in the
 seed:
 
   $ manet check --seed 42 --cases 25
-  check: seed=42 cases=25 protocols=24 oracles=12
-  OK: 25 cases, 3338 checks passed, 2137 skipped
+  check: seed=42 cases=25 protocols=24 oracles=13
+  OK: 25 cases, 3863 checks passed, 2212 skipped
 
   $ manet check --list
   coverage               structural    2.5/3-hop coverage sets match a BFS reference; connector tables are real paths; the CH_HOP cache agrees with per-head recomputation
@@ -127,6 +127,7 @@ seed:
   determinism            per-protocol  equal generator states give bit-identical results and timelines
   loss-sanity            per-protocol  a lossy broadcast stays self-consistent with a delivery ratio in [0, 1]
   arena-reuse            per-protocol  broadcasts are bit-identical on a fresh, the domain's, and a dirty reused engine arena, under perfect and lossy engines
+  flatset-reuse          per-protocol  broadcasts run back-to-back on one reused flatset pool are bit-identical to fresh-arena runs per source (stale-slice detection)
   k-connectivity         per-protocol  a kmcds backbone survives any single member removal that is not a graph cut vertex with its induced subgraph connected (k = 2)
   m-domination           per-protocol  every non-backbone node of a kmcds scheme has min(m, degree) backbone neighbors
   failure-delivery       per-protocol  killing any single backbone node of a k=2 scheme (graph staying connected) still delivers to every surviving node promised the packet
@@ -135,7 +136,7 @@ A deliberately broken gateway selection (the harness's own mutant) is
 caught and shrunk to a minimal reproducer:
 
   $ manet check --seed 42 --cases 50 --proto static-2.5hop!drop-coverage --output repro.ml
-  check: seed=42 cases=50 protocols=1 oracles=12
+  check: seed=42 cases=50 protocols=1 oracles=13
   FAIL oracle=backbone-connectivity proto=static-2.5hop!drop-coverage case 1 (udg, seed 42): n=42 m=85 source=31
     static-2.5hop!drop-coverage: backbone {0, 1, 2, 3, 4, 5, 6, 7, 10, 12, 13, 15, 16, 17, 18, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 33, 36, 37, 40} induces a disconnected subgraph
     shrunk to n=3 m=2 source=2 (41 shrink checks)
@@ -198,6 +199,22 @@ plain static backbone degrades:
       20        6      0.88 (±0.27)      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      1.50 (±0.58)      2.81 (±1.14)      3.82 (±0.97)
       60        5      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      3.20 (±0.52)      4.30 (±0.62)      4.68 (±0.57)
      100        5      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      1.00 (±0.00)      4.80 (±1.50)      5.42 (±1.10)      5.73 (±1.20)
+
+The pruning ablation drives all three pruning levels of the dynamic
+backbone through the flat-coverage-set selection path; the forward
+counts pin the C(v) - C(u) - {u} - N(r) rule end to end:
+
+  $ manet run ext-pruning --quick 2>/dev/null
+  ext-pruning (d = 6)
+       n  samples      static-2.5hop dynamic-2.5hop/sender dynamic-2.5hop/coverage     dynamic-2.5hop
+      20        5     11.40 (±3.22)     11.20 (±2.98)     10.60 (±2.77)     10.60 (±2.77)
+      60        5     36.20 (±2.87)     36.20 (±3.30)     35.00 (±2.94)     35.20 (±2.98)
+     100        5     61.20 (±2.50)     60.40 (±2.77)     55.80 (±2.63)     55.40 (±2.65)
+  ext-pruning (d = 18)
+       n  samples      static-2.5hop dynamic-2.5hop/sender dynamic-2.5hop/coverage     dynamic-2.5hop
+      20        5      5.40 (±2.39)      5.60 (±2.39)      4.80 (±0.96)      4.80 (±0.96)
+      60        5     19.80 (±3.40)     19.60 (±3.00)     15.60 (±2.25)     15.80 (±1.89)
+     100        5     38.20 (±5.61)     38.40 (±4.36)     29.20 (±2.75)     28.40 (±2.65)
 
 Anything else must be a scenario file on disk:
 

@@ -178,6 +178,29 @@ let check_kmcds_mutant ~mutant ~oracle () =
     Alcotest.(check bool) "reproduce re-fails" true
       (match v with Oracle.Fail _ -> true | _ -> false)
 
+(* The stale-pool mutant (a flatset slice surviving its pool's reset
+   with a forged generation tag) is invisible to every single-broadcast
+   oracle — the first broadcast of each prepared instance is clean — and
+   must be caught by exactly the flatset-reuse oracle, which reuses one
+   instance across sources. *)
+let test_stale_pool_caught () =
+  let outcome =
+    Runner.run
+      (Runner.config ~seed:42 ~cases:300 ~protos:[ Mutate.stale_pool ]
+         ~oracles:[ Oracle.find_exn "flatset-reuse" ] ())
+  in
+  match outcome.Runner.failure with
+  | None -> Alcotest.fail "stale-pool mutant not caught by flatset-reuse within 300 cases"
+  | Some f ->
+    Alcotest.(check string) "caught by the targeted oracle" "flatset-reuse"
+      f.Runner.oracle.Oracle.name;
+    let v =
+      Runner.reproduce ~oracle:"flatset-reuse" ?proto:f.Runner.proto
+        f.Runner.shrunk.Shrink.graph ~source:f.Runner.shrunk.Shrink.source
+    in
+    Alcotest.(check bool) "reproduce re-fails" true
+      (match v with Oracle.Fail _ -> true | _ -> false)
+
 (* The genuine kmcds schemes pass the fault-tolerance oracles the
    mutants fail — the oracles discriminate, not just reject. *)
 let test_fault_oracles_pass_genuine () =
@@ -257,6 +280,8 @@ let () =
           Alcotest.test_case "clean run over the registry" `Quick test_clean_run_all_protocols;
           Alcotest.test_case "mutant caught and shrunk (issue acceptance)" `Quick
             test_mutant_caught_and_shrunk;
+          Alcotest.test_case "stale-pool caught by flatset-reuse" `Quick
+            test_stale_pool_caught;
         ] );
       ( "fault-tolerance",
         [
