@@ -110,6 +110,9 @@ let ext_maintenance () =
   let t = Figures.ext_maintenance ~config ~d:6. () in
   print_string (Figures.render_maintenance t)
 
+let ext_traffic () =
+  run_builtin "Extension: continuous-traffic serving under churn" "ext-traffic"
+
 let ext_mobility () =
   section "Extension: static backbone maintenance under mobility";
   let config =
@@ -126,12 +129,15 @@ let ext_mobility () =
    current invocation produced, so `--json . timing alloc` emits both. *)
 let timing_json_section = ref None
 let alloc_json_section = ref None
+let traffic_json_section = ref None
 
 let flush_timing_json () =
   match !json_dir with
   | None -> ()
   | Some dir ->
-    let sections = List.filter_map (fun r -> !r) [ timing_json_section; alloc_json_section ] in
+    let sections =
+      List.filter_map (fun r -> !r) [ timing_json_section; alloc_json_section; traffic_json_section ]
+    in
     if sections <> [] then
       write_json ~dir ~name:"BENCH_timing.json"
         (Printf.sprintf "{\n%s\n}\n" (String.concat ",\n" sections))
@@ -239,12 +245,15 @@ let alloc_cases =
      coverage sets per broadcast); its ceilings pin the arena-backed
      loop.  The lossy row covers the frozen-replay path — a clean
      native run plus an SI replay through the loss engine — whose seed
-     was measured under Lossy 0.1 before the rework. *)
+     was measured under Lossy 0.1 before the rework.  Its ceiling was
+     ratcheted from 95k to 85k when the per-reception loss draw moved
+     from a boxed [Rng.float] comparison to an unboxed [Rng.bits53]
+     int-threshold test (measured ~76k after). *)
   [
     ("flooding", "perfect", Manet_broadcast.Protocol.Perfect, 16_000., 4548.7, 181_307.);
     ("static-2.5hop", "perfect", Manet_broadcast.Protocol.Perfect, 9_000., 2559.7, 94_252.);
     ("dynamic-2.5hop", "perfect", Manet_broadcast.Protocol.Perfect, 50_000., 4007.8, 440_236.);
-    ("dynamic-2.5hop", "lossy-0.1", Manet_broadcast.Protocol.Lossy 0.1, 95_000., 5010.1, 451_774.);
+    ("dynamic-2.5hop", "lossy-0.1", Manet_broadcast.Protocol.Lossy 0.1, 85_000., 5010.1, 451_774.);
   ]
 
 let alloc () =
@@ -320,6 +329,68 @@ let alloc () =
     exit 1
   end
 
+(* Sustained serving throughput of the continuous-traffic core
+   (DESIGN.md §6g): one long-lived network, a Poisson broadcast stream
+   under join/leave churn, the backbone maintained incrementally, every
+   broadcast reusing one pre-sized arena.  The floor is a hard bound on
+   broadcasts served per CPU second — dip below it and the bench exits
+   nonzero, failing the CI smoke run.  It sits ~5x under the measured
+   ~5,500/s, so only a structural regression (per-arrival allocation,
+   arena regrowth, whole-graph work per broadcast) can cross it;
+   machine-to-machine noise cannot. *)
+let traffic_floor_bps = 1_000.
+
+let traffic () =
+  section "Traffic: sustained serving throughput (n = 200, d = 12)";
+  let module Workload = Manet_experiment.Workload in
+  let n = 200 in
+  let topo = Manet_topology.Spec.make ~n ~avg_degree:12. () in
+  let sample =
+    Manet_topology.Generator.sample_connected (Manet_rng.Rng.create ~seed:2027) topo
+  in
+  let duration = if !quick then 40. else 200. in
+  let w =
+    Workload.make ~arrival_rate:50. ~duration ~warmup:2. ~join_rate:0.4 ~leave_rate:0.4 ()
+  in
+  let t0 = Sys.time () in
+  let stats =
+    Workload.run
+      ~rng:(Manet_rng.Rng.create ~seed:4242)
+      ~points:sample.Manet_topology.Generator.points
+      ~radius:sample.Manet_topology.Generator.radius ~spec:topo w
+  in
+  let dt = Sys.time () -. t0 in
+  let bps = float_of_int stats.Workload.broadcasts /. dt in
+  Printf.printf "%-14s %12s %12s %12s %14s %10s\n" "broadcasts" "churn" "maint msgs" "wall s"
+    "bcast/s" "floor";
+  Printf.printf "%-14d %12d %12d %12.2f %14.0f %10.0f%s\n" stats.Workload.broadcasts
+    stats.Workload.churn_events stats.Workload.maintenance_messages dt bps traffic_floor_bps
+    (if bps < traffic_floor_bps then "  BELOW FLOOR" else "");
+  traffic_json_section :=
+    Some
+      (Printf.sprintf
+         "  \"traffic\": {\n\
+          \    \"n\": %d,\n\
+          \    \"avg_degree\": 12,\n\
+          \    \"arrival_rate\": 50,\n\
+          \    \"duration\": %s,\n\
+          \    \"broadcasts\": %d,\n\
+          \    \"churn_events\": %d,\n\
+          \    \"maintenance_messages\": %d,\n\
+          \    \"wall_s\": %s,\n\
+          \    \"broadcasts_per_sec\": %s,\n\
+          \    \"floor_broadcasts_per_sec\": %s\n\
+          \  }"
+         n (json_float duration) stats.Workload.broadcasts stats.Workload.churn_events
+         stats.Workload.maintenance_messages (json_float dt) (json_float bps)
+         (json_float traffic_floor_bps));
+  flush_timing_json ();
+  if bps < traffic_floor_bps then begin
+    Printf.eprintf "traffic: sustained throughput %.0f broadcasts/s below the %.0f floor\n" bps
+      traffic_floor_bps;
+    exit 1
+  end
+
 (* Scalability: wall-clock of each construction as n grows an order of
    magnitude past the paper's largest network, at fixed density. *)
 let timing_scale () =
@@ -386,9 +457,11 @@ let experiments =
     ("ext-reliable", ext_reliable);
     ("ext-maintenance", ext_maintenance);
     ("ext-mobility", ext_mobility);
+    ("ext-traffic", ext_traffic);
     ("timing", timing);
     ("timing-scale", timing_scale);
     ("alloc", alloc);
+    ("traffic", traffic);
   ]
 
 let usage () =

@@ -65,17 +65,19 @@ module Arena = struct
 
   let dls = Domain.DLS.new_key create
   let get () = Domain.DLS.get dls
+
+  let reserve a ~n =
+    if a.cap < n then begin
+      a.delivered <- Array.make n 0;
+      a.transmitted <- Array.make n 0;
+      a.fwd <- Array.make n 0;
+      a.cap <- n
+    end
 end
 
 let nil = Obj.repr 0
 
-let ensure_nodes (a : Arena.t) n =
-  if a.cap < n then begin
-    a.delivered <- Array.make n 0;
-    a.transmitted <- Array.make n 0;
-    a.fwd <- Array.make n 0;
-    a.cap <- n
-  end
+let ensure_nodes (a : Arena.t) n = Arena.reserve a ~n
 
 let heap_grow (a : Arena.t) =
   let cap = Array.length a.heap_hi in

@@ -46,6 +46,12 @@ module Arena : sig
   (** The calling domain's own arena (domain-local storage) — the
       default scratch for every engine run, so per-domain reuse needs no
       explicit threading. *)
+
+  val reserve : t -> n:int -> unit
+  (** Pre-size the node-indexed buffers for an [n]-node graph.  Runs do
+      this on demand; a long-lived serving loop calls it once up front
+      so that no broadcast of the stream ever grows the arena mid-run.
+      Idempotent; never shrinks. *)
 end
 
 (** The arena opened up for protocols with bespoke event loops (the

@@ -10,9 +10,9 @@ let family_tag = function
   | Probabilistic -> "prob"
 
 type env = {
-  graph : Graph.t;
-  clustering : Manet_cluster.Clustering.t Lazy.t;
-  rng : Rng.t;
+  mutable graph : Graph.t;
+  mutable clustering : Manet_cluster.Clustering.t Lazy.t;
+  mutable rng : Rng.t;
   arena : Engine.Arena.t;
   mutable down : (time:int -> node:int -> bool) option;
 }
@@ -26,6 +26,29 @@ let make_env ?clustering ?rng ?arena ?down graph =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed:0 in
   let arena = match arena with Some a -> a | None -> Engine.Arena.get () in
   { graph; clustering; rng; arena; down }
+
+(* The live-view entry point: a long-lived environment tracks a mutating
+   network.  Swapping the topology (and the clustering derived from it)
+   in place keeps the same arena — and so the same generation-tagged
+   scratch, heap storage and flatset pool — serving every broadcast of a
+   continuous stream; the arena grows monotonically to the largest
+   graph it has seen and is never torn down between events. *)
+let retarget ?graph ?clustering ?rng env =
+  (match graph with
+  | None -> ()
+  | Some g ->
+    env.graph <- g;
+    (* A stale clustering silently outliving its graph is exactly the
+       bug class the workload oracles chase; force the caller to supply
+       the new one (or accept the default) whenever the graph moves. *)
+    env.clustering <-
+      (match clustering with
+      | Some c -> c
+      | None -> lazy (Manet_cluster.Lowest_id.cluster g)));
+  (match (graph, clustering) with
+  | None, Some c -> env.clustering <- c
+  | _ -> ());
+  match rng with None -> () | Some r -> env.rng <- r
 
 type mode = Perfect | Lossy of float
 
@@ -52,8 +75,14 @@ let run_decide env ~source ~mode ~initial ~decide =
   | Lossy loss ->
     if loss < 0. || loss > 1. then invalid_arg "Protocol.run: loss must be within [0, 1]";
     let rng = env.rng in
+    (* [bits53 rng < threshold] decides [float rng 1. < loss] on the
+       same generator draw without boxing a float per reception:
+       [loss *. 2^53] is exact scaling by a power of two, and the
+       53-bit draw is exactly representable, so ceil makes the integer
+       comparison equivalent bit-for-bit. *)
+    let threshold = int_of_float (Float.ceil (loss *. 9007199254740992.)) in
     Engine.run_core
-      ~drop:(fun () -> loss > 0. && Rng.float rng 1. < loss)
+      ~drop:(fun () -> threshold > 0 && Rng.bits53 rng < threshold)
       ?down ~arena:env.arena env.graph ~source ~initial ~decide
 
 let si_decide members ~node ~from:_ ~payload:() =

@@ -44,9 +44,17 @@ val family_tag : family -> string
     injection), and the engine arena its broadcasts reuse for scratch
     storage. *)
 type env = {
-  graph : Manet_graph.Graph.t;
-  clustering : Manet_cluster.Clustering.t Lazy.t;
-  rng : Manet_rng.Rng.t;
+  mutable graph : Manet_graph.Graph.t;
+      (** the live network view; mutable so a long-running workload can
+          swap topology snapshots in place (see {!retarget}) while the
+          arena and prepared protocols persist across the stream *)
+  mutable clustering : Manet_cluster.Clustering.t Lazy.t;
+      (** always the clustering {e of [graph]}; {!retarget} replaces it
+          together with the graph *)
+  mutable rng : Manet_rng.Rng.t;
+      (** mutable so a serving loop can install one split generator per
+          arrival — adding draws to one broadcast then never perturbs
+          the next *)
   arena : Engine.Arena.t;
   mutable down : (time:int -> node:int -> bool) option;
       (** the node-failure schedule ({!Engine.run_core}'s [down]),
@@ -68,6 +76,22 @@ val make_env :
     [rng] defaults to a fresh seed-0 generator; [arena] defaults to the
     calling domain's arena ({!Engine.Arena.get}) — results never depend
     on the choice.  [down] defaults to no failures. *)
+
+val retarget :
+  ?graph:Manet_graph.Graph.t ->
+  ?clustering:Manet_cluster.Clustering.t Lazy.t ->
+  ?rng:Manet_rng.Rng.t ->
+  env ->
+  unit
+(** The live-view entry point: point an existing environment at a new
+    topology snapshot (and/or generator) {e in place}, keeping its arena
+    — the generation-tagged scratch, heap storage and flatset pool keep
+    serving the stream, growing monotonically to the largest graph seen.
+    Passing [graph] without [clustering] re-derives the default (lazy
+    lowest-ID) clustering of the new graph, so the pair can never fall
+    out of step; protocols prepared against the old snapshot are the
+    caller's to invalidate (a {e stale} structure over a {e live} view
+    is the continuous-traffic measurement, not a bug). *)
 
 (** How one broadcast is executed. *)
 type mode =

@@ -216,6 +216,58 @@ let check_domains ctx =
     in
     compare_cells (p1.Sweep.cells, p2.Sweep.cells)
 
+(* The serving loop's live backbone vs a from-scratch rebuild: a short
+   churning workload is served over a case-derived placement, and at
+   every maintenance event the incrementally maintained backbone must
+   have exactly the members of [Static_backbone.build] over the
+   maintained clustering on the live graph (the equivalence
+   {!Manet_backbone.Backbone_maintenance} promises, exercised here
+   through the full timeline — churn, parking, retargeting — rather
+   than along a plain mobility trace).  [skip_maintenance] threads the
+   workload's seeded fault through, so the mutant test can assert this
+   oracle — and exactly this oracle — catches a dropped maintenance
+   step. *)
+let timeline_vs_rebuild ?skip_maintenance ctx =
+  let module Workload = Manet_experiment.Workload in
+  let idx = max ctx.case.Case.index 0 in
+  let spec = Manet_topology.Spec.make ~n:(16 + (8 * (idx mod 5))) ~avg_degree:6. () in
+  let rng = Case.case_rng ctx.case ~salt:"timeline" in
+  let sample = Manet_topology.Generator.sample_connected rng spec in
+  let w =
+    Workload.make ~join_rate:0.5 ~leave_rate:0.5 ~maintenance_every:1. ~arrival_rate:2.
+      ~duration:15. ()
+  in
+  let verdict = ref Pass in
+  let probe (p : Workload.probe) =
+    if !verdict = Pass then begin
+      let live = p.Workload.backbone in
+      match
+        Static.build ~clustering:live.Static.clustering p.Workload.graph live.Static.mode
+      with
+      | exception e ->
+        verdict :=
+          failf "t=%g: rebuild on the live graph raised %s" p.Workload.time
+            (Printexc.to_string e)
+      | fresh ->
+        if not (Nodeset.equal live.Static.members fresh.Static.members) then
+          verdict :=
+            failf
+              "t=%g: live backbone diverges from a from-scratch rebuild (%d vs %d members, \
+               %d stale topology events)"
+              p.Workload.time
+              (Nodeset.cardinal live.Static.members)
+              (Nodeset.cardinal fresh.Static.members)
+              p.Workload.stale_events
+    end
+  in
+  ignore
+    (Workload.run ?skip_maintenance ~on_maintenance:probe ~rng:(Rng.split rng)
+       ~points:sample.Manet_topology.Generator.points
+       ~radius:sample.Manet_topology.Generator.radius ~spec w);
+  !verdict
+
+let check_timeline ctx = timeline_vs_rebuild ctx
+
 (* ------------------------------------------------------------------ *)
 (* Per-protocol oracles                                               *)
 (* ------------------------------------------------------------------ *)
@@ -565,6 +617,13 @@ let all =
       name = "domains-determinism";
       description = "Sweep.run_point is bit-identical on 1 and 2 domains";
       check = Structural check_domains;
+    };
+    {
+      name = "timeline-vs-rebuild";
+      description =
+        "at every maintenance event of a churning workload the live incrementally-maintained \
+         backbone equals a from-scratch rebuild on the live graph";
+      check = Structural check_timeline;
     };
     {
       name = "domination";

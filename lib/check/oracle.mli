@@ -61,6 +61,11 @@ val all : t list
       exceed the static backbone's broadcast by more than a small slack;
     - [domains-determinism]: a small {!Manet_experiment.Sweep.run_point}
       is bit-identical on 1 and 2 domains;
+    - [timeline-vs-rebuild]: at every maintenance event of a short
+      churning {!Manet_experiment.Workload} stream, the incrementally
+      maintained live backbone equals a from-scratch
+      {!Manet_backbone.Static_backbone.build} over the maintained
+      clustering on the live graph;
     - [domination]: a materialized backbone dominates the graph;
     - [backbone-connectivity]: a materialized backbone induces a
       connected subgraph;
@@ -82,3 +87,9 @@ val find_exn : string -> t
 val eval : t -> ctx -> proto:Manet_broadcast.Protocol.t option -> verdict
 (** Evaluate one oracle.  A structural oracle ignores [proto]; a
     per-protocol oracle returns [Skip] when [proto] is [None]. *)
+
+val timeline_vs_rebuild : ?skip_maintenance:int -> ctx -> verdict
+(** The [timeline-vs-rebuild] check with the workload's seeded fault
+    exposed: [skip_maintenance k] serves the same stream but drops the
+    [k]-th maintenance update, the mutant this oracle exists to catch.
+    Without it this is exactly the catalog entry. *)

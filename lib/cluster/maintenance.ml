@@ -81,3 +81,13 @@ let update t g =
   }
 
 let head_churn e = e.new_heads + e.deposed_heads
+
+let no_events = { reaffiliations = 0; new_heads = 0; deposed_heads = 0; messages = 0 }
+
+let add a b =
+  {
+    reaffiliations = a.reaffiliations + b.reaffiliations;
+    new_heads = a.new_heads + b.new_heads;
+    deposed_heads = a.deposed_heads + b.deposed_heads;
+    messages = a.messages + b.messages;
+  }

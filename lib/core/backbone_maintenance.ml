@@ -150,6 +150,8 @@ let update t g =
   t.head_of <- new_head_of;
   report
 
+let clustering t = Maintenance.clustering t.maint
+
 let backbone t =
   let cl = Maintenance.clustering t.maint in
   let n = Graph.n t.graph in

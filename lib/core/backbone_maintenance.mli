@@ -38,6 +38,11 @@ val update : t -> Manet_graph.Graph.t -> report
 (** Adapt to a new topology snapshot (same node count).
     @raise Invalid_argument on a node-count mismatch. *)
 
+val clustering : t -> Manet_cluster.Clustering.t
+(** The currently maintained clustering — what a live broadcast
+    environment retargets onto without paying for a full {!backbone}
+    materialization. *)
+
 val backbone : t -> Static_backbone.t
 (** The currently maintained backbone (equal to
     [Static_backbone.build ~clustering:(current clustering) graph mode]). *)

@@ -141,6 +141,22 @@ let builtins =
           redund "static-2.5hop";
           redund "kmcds-k2m2";
         ];
+      Scenario.make ~name:"ext-traffic" ~ns:[ 80 ] ~degrees:[ 6. ]
+        ~workload:
+          (Workload.make ~warmup:10. ~join_rate:0.4 ~leave_rate:0.4 ~maintenance_every:1.
+             ~arrival_rate:50. ~duration:250. ())
+        ~stopping:{ Scenario.min_samples = 2; max_samples = 2; rel_precision = 0.5 }
+        ~description:
+          "Continuous traffic: a Poisson broadcast stream (~12,000 arrivals) served over one \
+           long-lived network under join/leave churn, with the backbone maintained \
+           incrementally every time unit - sustained throughput, maintenance messages per \
+           churn event, backbone staleness and delivery over active nodes."
+        [
+          Scenario.Workload_throughput { name = None };
+          Scenario.Workload_maintenance { name = None };
+          Scenario.Workload_staleness { name = None };
+          Scenario.Workload_delivery { name = None };
+        ];
       Scenario.make ~name:"ext-approx" ~ns:[ 8; 10; 12; 14; 16 ] ~degrees:[ 6. ]
         ~description:
           "Approximation ratios |CDS| / |MCDS| on small networks (the exact solver is \

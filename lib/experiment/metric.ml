@@ -10,6 +10,9 @@ type ctx = {
   clustering : Manet_cluster.Clustering.t;
   source : int;
   rng : Rng.t;
+  points : Manet_geom.Point.t array;
+  radius : float;
+  spec : Manet_topology.Spec.t;
 }
 
 type perturbation = {
@@ -23,9 +26,9 @@ type perturbation = {
 
 let draw ?perturb rng spec =
   let sample = Manet_topology.Generator.sample_connected rng spec in
-  let graph =
+  let graph, points =
     match perturb with
-    | None -> sample.graph
+    | None -> (sample.graph, sample.points)
     | Some p ->
       (* The walk draws from its own split so that enabling mobility
          leaves the placement stream untouched; the snapshot may be
@@ -37,11 +40,11 @@ let draw ?perturb rng spec =
       for _ = 1 to p.steps do
         Mobility.step mob ~dt:p.dt
       done;
-      Mobility.graph mob ~radius:sample.radius
+      (Mobility.graph mob ~radius:sample.radius, Mobility.positions mob)
   in
   let clustering = Manet_cluster.Lowest_id.cluster graph in
   let source = Rng.int rng (Manet_graph.Graph.n graph) in
-  { graph; clustering; source; rng = Rng.split rng }
+  { graph; clustering; source; rng = Rng.split rng; points; radius = sample.radius; spec }
 
 type t = { name : string; eval : ctx -> float }
 

@@ -26,6 +26,15 @@ type ctx = {
       (** per-sample generator for randomized protocols (backoffs, loss);
           split from the draw generator so metrics cannot perturb the
           topology stream *)
+  points : Manet_geom.Point.t array;
+      (** the node positions the graph was snapshotted from (post-walk
+          under a mobility perturbation) — the geometric seed a workload
+          run continues moving from *)
+  radius : float;  (** the unit-disk transmission radius of [graph] *)
+  spec : Manet_topology.Spec.t;
+      (** the structural point this unit was drawn at (field dimensions,
+          n, target degree) — what a continuous-traffic run needs to keep
+          generating geometry *)
 }
 
 (** A mobility regime applied between placement and measurement: the

@@ -18,6 +18,10 @@ type metric =
   | Failure_delivery of { protocol : string; name : string option; loss : float option }
   | Reconnection_rounds of { protocol : string; name : string option }
   | Redundancy of { protocol : string; name : string option }
+  | Workload_throughput of { name : string option }
+  | Workload_maintenance of { name : string option }
+  | Workload_staleness of { name : string option }
+  | Workload_delivery of { name : string option }
 
 type topology = { ns : int list; degrees : float list; width : float; height : float }
 
@@ -32,11 +36,16 @@ type t = {
   mobility : Metric.perturbation option;
   loss : float option;
   failures : Metric.failure_spec option;
+  workload : Workload.spec option;
   stopping : stopping;
   metrics : metric list;
 }
 
-let version = 1
+(* Codec versions: 1 is the one-broadcast-per-topology shape; 2 adds the
+   continuous-traffic "workload" object.  [to_json] emits the oldest
+   version expressing the scenario, so v1 journals and files keep their
+   exact bytes. *)
+let version = 2
 
 let paper_ns = [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
 
@@ -45,8 +54,8 @@ let default_stopping = { min_samples = 30; max_samples = 500; rel_precision = 0.
 let quick_stopping = { min_samples = 5; max_samples = 8; rel_precision = 0.5 }
 
 let make ?(description = "") ?(seed = 42) ?(domains = 1) ?(ns = paper_ns) ?(width = 100.)
-    ?(height = 100.) ?mobility ?loss ?failures ?(stopping = default_stopping) ~name ~degrees
-    metrics =
+    ?(height = 100.) ?mobility ?loss ?failures ?workload ?(stopping = default_stopping) ~name
+    ~degrees metrics =
   {
     name;
     description;
@@ -56,6 +65,7 @@ let make ?(description = "") ?(seed = 42) ?(domains = 1) ?(ns = paper_ns) ?(widt
     mobility;
     loss;
     failures;
+    workload;
     stopping;
     metrics;
   }
@@ -67,6 +77,18 @@ let quicken s =
     stopping = quick_stopping;
     topology =
       { s.topology with ns = (if s.topology.ns = paper_ns then [ 20; 60; 100 ] else s.topology.ns) };
+    (* A quick stream is a short stream: clamp the served duration (and
+       the warmup with it) so smoke runs finish in seconds. *)
+    workload =
+      Option.map
+        (fun (w : Workload.spec) ->
+          Workload.make
+            ~warmup:(Float.min w.warmup 2.)
+            ~join_rate:w.join_rate ~leave_rate:w.leave_rate ~sources:w.sources
+            ~maintenance_every:w.maintenance_every ~arrival_rate:w.arrival_rate
+            ~duration:(Float.min w.duration 25.)
+            ())
+        s.workload;
   }
 
 (* Names *)
@@ -95,6 +117,10 @@ let metric_name = function
   | Failure_delivery { protocol; name; _ } -> Option.value name ~default:(protocol ^ "/fail")
   | Reconnection_rounds { protocol; name } -> Option.value name ~default:(protocol ^ "/reconnect")
   | Redundancy { protocol; name } -> Option.value name ~default:(protocol ^ "/redund")
+  | Workload_throughput { name } -> Option.value name ~default:"throughput"
+  | Workload_maintenance { name } -> Option.value name ~default:"maint/churn"
+  | Workload_staleness { name } -> Option.value name ~default:"staleness"
+  | Workload_delivery { name } -> Option.value name ~default:"churn-delivery"
 
 (* Validation *)
 
@@ -108,12 +134,23 @@ let protocol_of = function
   | Reconnection_rounds { protocol; _ }
   | Redundancy { protocol; _ } ->
     Some protocol
-  | Cluster_count _ | Realized_degree | Mcds_size | Construction_cost _ -> None
+  | Cluster_count _ | Realized_degree | Mcds_size | Construction_cost _ | Workload_throughput _
+  | Workload_maintenance _ | Workload_staleness _ | Workload_delivery _ ->
+    None
 
 let needs_failures = function
   | Failure_delivery _ | Reconnection_rounds _ -> true
   | Forwards _ | Delivery _ | Structure_size _ | Completion_time _ | Cluster_count _
-  | Realized_degree | Mcds_size | Mcds_ratio _ | Construction_cost _ | Redundancy _ ->
+  | Realized_degree | Mcds_size | Mcds_ratio _ | Construction_cost _ | Redundancy _
+  | Workload_throughput _ | Workload_maintenance _ | Workload_staleness _ | Workload_delivery _ ->
+    false
+
+let needs_workload = function
+  | Workload_throughput _ | Workload_maintenance _ | Workload_staleness _ | Workload_delivery _ ->
+    true
+  | Forwards _ | Delivery _ | Structure_size _ | Completion_time _ | Cluster_count _
+  | Realized_degree | Mcds_size | Mcds_ratio _ | Construction_cost _ | Failure_delivery _
+  | Reconnection_rounds _ | Redundancy _ ->
     false
 
 let validate s =
@@ -133,6 +170,8 @@ let validate s =
           (String.concat ", " Registry.names)
       | _ when needs_failures m && s.failures = None ->
         err "metrics[%d]: %S needs the scenario-level \"failures\" event" i (metric_name m)
+      | _ when needs_workload m && s.workload = None ->
+        err "metrics[%d]: %S needs the scenario-level \"workload\" object" i (metric_name m)
       | _ ->
         (match metric_loss with
         | Some l when bad_loss l ->
@@ -203,6 +242,26 @@ let compile s =
     | Some f -> f
     | None -> assert false (* validate requires failures for failure metrics *)
   in
+  let workload () =
+    match s.workload with
+    | Some w -> w
+    | None -> assert false (* validate requires a workload for workload metrics *)
+  in
+  (* The scenario's mobility regime doubles as the workload's continuous
+     motion: the walker advances every [dt] on the stream clock ([steps]
+     governs only the one-shot pre-measurement walk of plain metrics). *)
+  let motion =
+    Option.map
+      (fun (p : Metric.perturbation) ->
+        {
+          Workload.model = p.model;
+          dt = p.dt;
+          speed_min = p.speed_min;
+          speed_max = p.speed_max;
+          pause_time = p.pause_time;
+        })
+      s.mobility
+  in
   List.map
     (fun m ->
       let name = metric_name m in
@@ -224,6 +283,11 @@ let compile s =
       | Mcds_ratio { protocol; _ } ->
         let size = Metric.structure_size protocol in
         { Metric.name; eval = (fun ctx -> size.Metric.eval ctx /. mcds_size_of ctx) }
+      | Workload_throughput _ -> { (Workload.throughput ?motion (workload ())) with Metric.name }
+      | Workload_maintenance _ ->
+        { (Workload.maintenance_per_churn ?motion (workload ())) with Metric.name }
+      | Workload_staleness _ -> { (Workload.staleness ?motion (workload ())) with Metric.name }
+      | Workload_delivery _ -> { (Workload.churn_delivery ?motion (workload ())) with Metric.name }
       | Construction_cost { field; _ } ->
         let pick (c : Manet_backbone.Construction_cost.t) =
           match field with
@@ -298,13 +362,20 @@ let metric_to_json m =
     kind "reconnection-rounds" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name)
   | Redundancy { protocol; name } ->
     kind "redundancy" ([ ("protocol", Json.Str protocol) ] @ opt_str "name" name)
+  | Workload_throughput { name } -> kind "workload-throughput" (opt_str "name" name)
+  | Workload_maintenance { name } -> kind "workload-maintenance" (opt_str "name" name)
+  | Workload_staleness { name } -> kind "workload-staleness" (opt_str "name" name)
+  | Workload_delivery { name } -> kind "workload-delivery" (opt_str "name" name)
 
 let to_json s =
   let ints ns = Json.Arr (List.map (fun n -> Json.Num (float_of_int n)) ns) in
   let floats ds = Json.Arr (List.map (fun d -> Json.Num d) ds) in
+  (* v1 scenarios keep their exact historical bytes: the version bump is
+     paid only by scenarios using the v2 "workload" object. *)
+  let emitted_version = match s.workload with None -> 1 | Some _ -> version in
   Json.Obj
     ([
-       ("version", Json.Num (float_of_int version));
+       ("version", Json.Num (float_of_int emitted_version));
        ("name", Json.Str s.name);
      ]
     @ (if s.description = "" then [] else [ ("description", Json.Str s.description) ])
@@ -352,6 +423,27 @@ let to_json s =
               @
               if f.Metric.backbone_only then []
               else [ ("scope", Json.Str "any") ]) );
+        ])
+    @ (match s.workload with
+      | None -> []
+      | Some w ->
+        [
+          ( "workload",
+            Json.Obj
+              ([
+                 ("arrival_rate", Json.Num w.Workload.arrival_rate);
+                 ("duration", Json.Num w.Workload.duration);
+               ]
+              @ (if w.Workload.warmup = 0. then [] else [ ("warmup", Json.Num w.Workload.warmup) ])
+              @ (if w.Workload.join_rate = 0. then []
+                 else [ ("join_rate", Json.Num w.Workload.join_rate) ])
+              @ (if w.Workload.leave_rate = 0. then []
+                 else [ ("leave_rate", Json.Num w.Workload.leave_rate) ])
+              @ (if w.Workload.sources = 0 then []
+                 else [ ("sources", Json.Num (float_of_int w.Workload.sources)) ])
+              @
+              if w.Workload.maintenance_every = 1. then []
+              else [ ("maintenance_every", Json.Num w.Workload.maintenance_every) ]) );
         ])
     @ [
         ( "stopping",
@@ -471,11 +563,24 @@ let metric_of_json i j =
   | "redundancy" ->
     check [ "protocol"; "name" ];
     Redundancy { protocol = protocol (); name = name () }
+  | "workload-throughput" ->
+    check [ "name" ];
+    Workload_throughput { name = name () }
+  | "workload-maintenance" ->
+    check [ "name" ];
+    Workload_maintenance { name = name () }
+  | "workload-staleness" ->
+    check [ "name" ];
+    Workload_staleness { name = name () }
+  | "workload-delivery" ->
+    check [ "name" ];
+    Workload_delivery { name = name () }
   | other ->
     reject
       "%s: unknown metric kind %S (expected forwards, delivery, structure-size, completion-time, \
        cluster-count, realized-degree, mcds-size, mcds-ratio, construction-cost, \
-       failure-delivery, reconnection-rounds or redundancy)"
+       failure-delivery, reconnection-rounds, redundancy, workload-throughput, \
+       workload-maintenance, workload-staleness or workload-delivery)"
       context other
 
 let topology_of_json j =
@@ -553,6 +658,35 @@ let failures_of_json j =
           reject "failures.scope: unknown scope %S (expected \"backbone\" or \"any\")" other));
   }
 
+let workload_of_json j =
+  let context = "workload" in
+  let fields = obj_of ~context j in
+  check_fields ~context
+    ~allowed:[ "arrival_rate"; "duration"; "warmup"; "join_rate"; "leave_rate"; "sources"; "maintenance_every" ]
+    fields;
+  let get_f key v = get_float ~context:("workload." ^ key) v in
+  let req_f key = get_f key (required ~context fields key) in
+  let opt_f key default = match field fields key with None -> default | Some v -> get_f key v in
+  let arrival_rate = req_f "arrival_rate" in
+  let duration = req_f "duration" in
+  let warmup = opt_f "warmup" 0. in
+  let join_rate = opt_f "join_rate" 0. in
+  let leave_rate = opt_f "leave_rate" 0. in
+  let sources =
+    match field fields "sources" with
+    | None -> 0
+    | Some v -> get_int ~context:"workload.sources" v
+  in
+  let maintenance_every = opt_f "maintenance_every" 1. in
+  (* [Workload.make] owns the range checks (positive rates, warmup
+     inside the duration, ...); surface its verdict as a parse error. *)
+  match
+    Workload.make ~warmup ~join_rate ~leave_rate ~sources ~maintenance_every ~arrival_rate
+      ~duration ()
+  with
+  | w -> w
+  | exception Invalid_argument m -> reject "%s" m
+
 let of_json j =
   match
     let context = "scenario" in
@@ -561,12 +695,14 @@ let of_json j =
       ~allowed:
         [
           "version"; "name"; "description"; "seed"; "domains"; "topology"; "mobility"; "loss";
-          "failures"; "stopping"; "metrics";
+          "failures"; "workload"; "stopping"; "metrics";
         ]
       fields;
     let v = get_int ~context:"version" (required ~context fields "version") in
-    if v <> version then
-      reject "unsupported version %d (this build reads version %d)" v version;
+    if v < 1 || v > version then
+      reject "unsupported version %d (this build reads versions 1-%d)" v version;
+    if v < 2 && field fields "workload" <> None then
+      reject "\"workload\" requires version 2 (this scenario declares version %d)" v;
     let s =
       {
         name = get_str ~context:"name" (required ~context fields "name");
@@ -583,6 +719,7 @@ let of_json j =
         mobility = Option.map mobility_of_json (field fields "mobility");
         loss = Option.map (get_float ~context:"loss") (field fields "loss");
         failures = Option.map failures_of_json (field fields "failures");
+        workload = Option.map workload_of_json (field fields "workload");
         stopping = stopping_of_json (required ~context fields "stopping");
         metrics =
           List.mapi metric_of_json (get_list ~context:"metrics" (required ~context fields "metrics"));

@@ -46,6 +46,18 @@ type metric =
   | Redundancy of { protocol : string; name : string option }
       (** redundant-coverage factor: mean backbone neighbors over
           non-backbone nodes (structural; no failure event needed) *)
+  | Workload_throughput of { name : string option }
+      (** sustained broadcasts per simulated time unit of the scenario's
+          continuous-traffic stream (requires a [workload] object, like
+          every workload series; all of them measure one shared serving
+          run per sample — see {!Workload}) *)
+  | Workload_maintenance of { name : string option }
+      (** incremental-maintenance control messages per churn event *)
+  | Workload_staleness of { name : string option }
+      (** mean topology events since the last backbone maintenance,
+          sampled at each broadcast of the stream *)
+  | Workload_delivery of { name : string option }
+      (** mean delivery ratio over active nodes under churn *)
 
 type topology = {
   ns : int list;  (** network sizes, one sweep point each *)
@@ -73,12 +85,22 @@ type t = {
           kill round, optional heal round, victim scope (backbone or any
           node).  Victims are redrawn per sample from the context's
           generator. *)
+  workload : Workload.spec option;
+      (** the continuous-traffic stream served by the workload metrics
+          (v2): Poisson arrivals, join/leave churn and periodic backbone
+          maintenance over one long-lived network view per sample.  The
+          scenario's [mobility] regime doubles as the stream's
+          continuous motion (the walker advances every [dt] on the
+          stream clock; [steps] governs only plain metrics). *)
   stopping : stopping;
   metrics : metric list;
 }
 
 val version : int
-(** The codec version this build reads and writes (1). *)
+(** The newest codec version this build reads (2).  {!to_json} emits the
+    oldest version expressing the scenario — 1 unless the v2 [workload]
+    object is present — so pre-workload files and journals keep their
+    exact bytes. *)
 
 (** {1 Grids and configs} *)
 
@@ -101,6 +123,7 @@ val make :
   ?mobility:Metric.perturbation ->
   ?loss:float ->
   ?failures:Metric.failure_spec ->
+  ?workload:Workload.spec ->
   ?stopping:stopping ->
   name:string ->
   degrees:float list ->
@@ -115,7 +138,8 @@ val quicken : t -> t
 (** The [--quick] transform: seed 7, {!quick_stopping}, and the
     three-point size grid [20; 60; 100] whenever the scenario uses
     {!paper_ns} (bespoke grids — e.g. ext-approx's small-n grid — are
-    kept).  Mirrors the historical quick figure configs exactly. *)
+    kept), plus a workload duration clamped to 25 time units (warmup to
+    2).  Mirrors the historical quick figure configs exactly. *)
 
 (** {1 Validation and compilation} *)
 
@@ -126,8 +150,9 @@ val validate : t -> (unit, string) result
 (** Full strictness: non-empty grids with n >= 2 and positive degrees,
     positive working space, a sane stopping rule, loss in [0, 1], a sane
     mobility regime, a sane failure event (kill >= 1, round >= 0, heal
-    after round) present whenever a failure metric needs one, at least
-    one metric, every protocol registered, and no duplicate series
+    after round) present whenever a failure metric needs one, a
+    [workload] object present whenever a workload series needs one, at
+    least one metric, every protocol registered, and no duplicate series
     labels.  Messages name the offending field and, for protocols, list
     the registered names. *)
 

@@ -1,0 +1,293 @@
+module Graph = Manet_graph.Graph
+module Nodeset = Manet_graph.Nodeset
+module Unit_disk = Manet_graph.Unit_disk
+module Point = Manet_geom.Point
+module Rng = Manet_rng.Rng
+module Spec = Manet_topology.Spec
+module Mobility = Manet_topology.Mobility
+module Timeline = Manet_sim.Timeline
+module Protocol = Manet_broadcast.Protocol
+module Engine = Manet_broadcast.Engine
+module Result = Manet_broadcast.Result
+module Coverage = Manet_coverage.Coverage
+module Static = Manet_backbone.Static_backbone
+module Bm = Manet_backbone.Backbone_maintenance
+
+type spec = {
+  arrival_rate : float;
+  duration : float;
+  warmup : float;
+  join_rate : float;
+  leave_rate : float;
+  sources : int;
+  maintenance_every : float;
+}
+
+let make ?(warmup = 0.) ?(join_rate = 0.) ?(leave_rate = 0.) ?(sources = 0)
+    ?(maintenance_every = 1.) ~arrival_rate ~duration () =
+  if not (Float.is_finite arrival_rate && arrival_rate > 0.) then
+    invalid_arg "Workload.make: arrival_rate must be positive";
+  if not (Float.is_finite duration && duration > 0.) then
+    invalid_arg "Workload.make: duration must be positive";
+  if not (Float.is_finite warmup && warmup >= 0. && warmup < duration) then
+    invalid_arg "Workload.make: warmup must be within [0, duration)";
+  if not (Float.is_finite join_rate && join_rate >= 0.) then
+    invalid_arg "Workload.make: join_rate must be non-negative";
+  if not (Float.is_finite leave_rate && leave_rate >= 0.) then
+    invalid_arg "Workload.make: leave_rate must be non-negative";
+  if sources < 0 then invalid_arg "Workload.make: sources must be non-negative";
+  if not (Float.is_finite maintenance_every && maintenance_every >= 0.) then
+    invalid_arg "Workload.make: maintenance_every must be non-negative";
+  { arrival_rate; duration; warmup; join_rate; leave_rate; sources; maintenance_every }
+
+type motion = {
+  model : Mobility.model;
+  dt : float;
+  speed_min : float;
+  speed_max : float;
+  pause_time : float;
+}
+
+type stats = {
+  broadcasts : int;
+  skipped : int;
+  throughput : float;
+  churn_events : int;
+  maintenance_updates : int;
+  maintenance_messages : int;
+  messages_per_churn : float;
+  mean_staleness : float;
+  delivery : float;
+}
+
+type probe = {
+  time : float;
+  graph : Graph.t;
+  backbone : Static.t;
+  stale_events : int;
+}
+
+(* The four event streams of the serving loop, interleaved on one
+   timeline.  Rank encodes the paper-faithful same-instant ordering:
+   topology changes (churn, then motion) become visible before the
+   periodic maintenance reacts to them, and a broadcast arriving at the
+   same instant sees the post-maintenance structure. *)
+type event = Join | Leave | Move | Maintain | Arrival
+
+let rank = function Join | Leave -> 0 | Move -> 1 | Maintain -> 2 | Arrival -> 3
+
+(* Inverse-CDF exponential inter-arrival draw; clamped away from zero so
+   a pathological [u = 0] draw cannot stall the clock. *)
+let exp_draw rng rate = Float.max (-.log (1. -. Rng.float rng 1.) /. rate) 1e-9
+
+let run ?(mode = Protocol.Perfect) ?motion ?(coverage = Coverage.Hop25) ?on_maintenance
+    ?skip_maintenance ~rng ~points ~radius ~spec w =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Workload.run: need at least 2 nodes";
+  if radius <= 0. then invalid_arg "Workload.run: radius must be positive";
+  (* One split generator per stream: adding draws to one stream (more
+     churn, more arrivals) never perturbs any other. *)
+  let arrival_rng = Rng.split rng in
+  let join_rng = Rng.split rng in
+  let leave_rng = Rng.split rng in
+  let source_rng = Rng.split rng in
+  let traffic_rng = Rng.split rng in
+  let motion_rng = Rng.split rng in
+  let walker =
+    Option.map
+      (fun m ->
+        Mobility.create ~pause_time:m.pause_time ~model:m.model ~speed_min:m.speed_min
+          ~speed_max:m.speed_max ~rng:motion_rng ~spec points)
+      motion
+  in
+  let active = Array.make n true in
+  let active_count = ref n in
+  (* Inactive nodes are parked on a private rail strictly outside the
+     field, spaced more than a radius apart, so every unit-disk snapshot
+     isolates them — a left node neither links nor relays, yet the node
+     count stays fixed (the maintenance layer's contract). *)
+  let park_y = spec.Spec.height +. (2. *. radius) +. 1. in
+  let park_x v = float_of_int v *. ((2. *. radius) +. 1.) in
+  let scratch = Array.make n Point.origin in
+  let snapshot () =
+    let live =
+      match walker with Some m -> Mobility.unsafe_positions m | None -> points
+    in
+    for v = 0 to n - 1 do
+      scratch.(v) <-
+        (if active.(v) then live.(v) else Point.make ~x:(park_x v) ~y:park_y)
+    done;
+    Unit_disk.build ~radius scratch
+  in
+  let graph = ref (snapshot ()) in
+  let bm = Bm.create !graph coverage in
+  let members = ref (Bm.backbone bm).Static.members in
+  let env = Protocol.make_env ~rng:(Rng.split traffic_rng) !graph in
+  (* Pre-size once: no broadcast of the stream grows the arena mid-run. *)
+  Engine.Arena.reserve env.Protocol.arena ~n;
+  let tl = Timeline.create () in
+  let schedule_next now ev =
+    let d =
+      match ev with
+      | Arrival -> exp_draw arrival_rng w.arrival_rate
+      | Join -> exp_draw join_rng w.join_rate
+      | Leave -> exp_draw leave_rng w.leave_rate
+      | Move -> (match motion with Some m -> m.dt | None -> assert false)
+      | Maintain -> w.maintenance_every
+    in
+    Timeline.schedule tl ~time:(now +. d) ~rank:(rank ev) ev
+  in
+  schedule_next 0. Arrival;
+  if w.join_rate > 0. then schedule_next 0. Join;
+  if w.leave_rate > 0. then schedule_next 0. Leave;
+  (match motion with Some _ -> schedule_next 0. Move | None -> ());
+  if w.maintenance_every > 0. then schedule_next 0. Maintain;
+  let broadcasts = ref 0 and skipped = ref 0 and churn_events = ref 0 in
+  let maintenance_updates = ref 0 and maintenance_messages = ref 0 in
+  let maint_seen = ref 0 and stale_since_maint = ref 0 in
+  let delivery_sum = ref 0. and staleness_sum = ref 0. in
+  let retarget_topology () =
+    graph := snapshot ();
+    Protocol.retarget ~graph:!graph env;
+    incr stale_since_maint
+  in
+  (* Pick the [k]-th node satisfying [pred] (uniform given the count). *)
+  let pick_nth pred k =
+    let seen = ref (-1) and found = ref (-1) in
+    for v = 0 to n - 1 do
+      if !found < 0 && pred v then begin
+        incr seen;
+        if !seen = k then found := v
+      end
+    done;
+    !found
+  in
+  let decide ~node ~from:_ ~payload:() =
+    if Nodeset.mem node !members then Some () else None
+  in
+  let finished = ref false in
+  while not !finished do
+    match Timeline.pop tl with
+    | None -> finished := true
+    | Some (t, _) when t > w.duration -> finished := true
+    | Some (t, ev) ->
+      let counted = t >= w.warmup in
+      (match ev with
+      | Join ->
+        let inactive = n - !active_count in
+        if inactive > 0 then begin
+          let v = pick_nth (fun v -> not active.(v)) (Rng.int join_rng inactive) in
+          active.(v) <- true;
+          incr active_count;
+          retarget_topology ();
+          if counted then incr churn_events
+        end;
+        schedule_next t Join
+      | Leave ->
+        (* Never drain the network below two live nodes: a broadcast
+           needs a source and at least one potential receiver. *)
+        if !active_count > 2 then begin
+          let v = pick_nth (fun v -> active.(v)) (Rng.int leave_rng !active_count) in
+          active.(v) <- false;
+          decr active_count;
+          retarget_topology ();
+          if counted then incr churn_events
+        end;
+        schedule_next t Leave
+      | Move ->
+        (match walker with
+        | Some m -> Mobility.step m ~dt:(match motion with Some mo -> mo.dt | None -> 0.)
+        | None -> ());
+        retarget_topology ();
+        schedule_next t Move
+      | Maintain ->
+        incr maint_seen;
+        let faulted =
+          match skip_maintenance with Some k -> !maint_seen = k | None -> false
+        in
+        if not faulted then begin
+          let report = Bm.update bm !graph in
+          members := (Bm.backbone bm).Static.members;
+          if counted then begin
+            incr maintenance_updates;
+            maintenance_messages := !maintenance_messages + report.Bm.total_messages
+          end
+        end;
+        (match on_maintenance with
+        | Some f ->
+          f { time = t; graph = !graph; backbone = Bm.backbone bm; stale_events = !stale_since_maint }
+        | None -> ());
+        if not faulted then stale_since_maint := 0;
+        schedule_next t Maintain
+      | Arrival ->
+        let eligible v = active.(v) && (w.sources = 0 || v < w.sources) in
+        let pool = ref 0 in
+        for v = 0 to n - 1 do
+          if eligible v then incr pool
+        done;
+        if !pool = 0 then begin
+          if counted then incr skipped
+        end
+        else begin
+          let source = pick_nth eligible (Rng.int source_rng !pool) in
+          (* One split per arrival: a broadcast that draws more (loss
+             mode) never perturbs the next broadcast's stream. *)
+          Protocol.retarget ~rng:(Rng.split traffic_rng) env;
+          let r, _ = Protocol.run_decide env ~source ~mode ~initial:() ~decide in
+          if counted then begin
+            incr broadcasts;
+            let got = ref 0 in
+            Array.iteri
+              (fun v d -> if d && active.(v) then incr got)
+              r.Result.delivered;
+            delivery_sum := !delivery_sum +. (float_of_int !got /. float_of_int !active_count);
+            staleness_sum := !staleness_sum +. float_of_int !stale_since_maint
+          end
+        end;
+        schedule_next t Arrival)
+  done;
+  let fdiv a b = if b = 0 then 0. else a /. float_of_int b in
+  {
+    broadcasts = !broadcasts;
+    skipped = !skipped;
+    throughput = float_of_int !broadcasts /. (w.duration -. w.warmup);
+    churn_events = !churn_events;
+    maintenance_updates = !maintenance_updates;
+    maintenance_messages = !maintenance_messages;
+    messages_per_churn = fdiv (float_of_int !maintenance_messages) !churn_events;
+    mean_staleness = fdiv !staleness_sum !broadcasts;
+    delivery = fdiv !delivery_sum !broadcasts;
+  }
+
+(* {2 Workload metrics}
+
+   All workload series of one scenario measure the same serving run:
+   the first metric evaluated on a context runs the stream once (seeded
+   by one split of the context's generator), and the others read the
+   memoized stats.  The memo is domain-local and keyed on the physical
+   context — safe because a sweep evaluates all metrics of one sample
+   consecutively on one domain. *)
+
+let memo :
+    (Metric.ctx * spec * motion option * stats) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let stats_for ?motion ctx w =
+  let slot = Domain.DLS.get memo in
+  match !slot with
+  | Some (c, w', m', s) when c == ctx && w' = w && m' = motion -> s
+  | _ ->
+    let s =
+      run ?motion ~rng:(Rng.split ctx.Metric.rng) ~points:ctx.Metric.points
+        ~radius:ctx.Metric.radius ~spec:ctx.Metric.spec w
+    in
+    slot := Some (ctx, w, motion, s);
+    s
+
+let metric name field ?motion w =
+  { Metric.name; eval = (fun ctx -> field (stats_for ?motion ctx w)) }
+
+let throughput = metric "throughput" (fun s -> s.throughput)
+let maintenance_per_churn = metric "maint/churn" (fun s -> s.messages_per_churn)
+let staleness = metric "staleness" (fun s -> s.mean_staleness)
+let churn_delivery = metric "churn-delivery" (fun s -> s.delivery)

@@ -38,6 +38,10 @@ let int_in g ~lo ~hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";
   lo + int g (hi - lo + 1)
 
+let bits53 g =
+  let mask53 = Int64.of_int ((1 lsl 53) - 1) in
+  Int64.to_int (Int64.logand (next_int64 g) mask53)
+
 let float g bound =
   if not (bound > 0.) || not (Float.is_finite bound) then
     invalid_arg "Rng.float: bound must be positive and finite";

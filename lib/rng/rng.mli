@@ -39,6 +39,12 @@ val int_in : t -> lo:int -> hi:int -> int
 (** [int_in g ~lo ~hi] is uniform in the inclusive range [\[lo, hi\]].
     @raise Invalid_argument if [hi < lo]. *)
 
+val bits53 : t -> int
+(** [bits53 g] is the raw 53-bit mantissa draw behind {!float}: one
+    [next_int64] masked to its low 53 bits.  [bits53 g < threshold] with
+    [threshold = ceil (p *. 2^53)] decides [float g 1. < p] bit-for-bit
+    while staying entirely in unboxed integers. *)
+
 val float : t -> float -> float
 (** [float g bound] is uniform in [\[0, bound)] with 53 bits of
     precision.  @raise Invalid_argument if [bound <= 0. or not finite]. *)

@@ -1,0 +1,30 @@
+module Key = struct
+  type t = { time : float; rank : int; seq : int }
+
+  let compare a b =
+    let c = Float.compare a.time b.time in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.rank b.rank in
+      if c <> 0 then c else Int.compare a.seq b.seq
+end
+
+module H = Heap.Make (Key)
+
+type 'a t = { heap : 'a H.t; mutable seq : int }
+
+let create () = { heap = H.create (); seq = 0 }
+
+let schedule t ~time ~rank v =
+  if not (Float.is_finite time) then invalid_arg "Timeline.schedule: time must be finite";
+  H.push t.heap { Key.time; rank; seq = t.seq } v;
+  t.seq <- t.seq + 1
+
+let pop t =
+  match H.pop t.heap with None -> None | Some (k, v) -> Some (k.Key.time, v)
+
+let peek_time t = match H.peek t.heap with None -> None | Some (k, _) -> Some k.Key.time
+
+let is_empty t = H.is_empty t.heap
+
+let length t = H.length t.heap

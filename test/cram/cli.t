@@ -114,13 +114,14 @@ catalog on seeded random topologies; runs are deterministic in the
 seed:
 
   $ manet check --seed 42 --cases 25
-  check: seed=42 cases=25 protocols=24 oracles=13
-  OK: 25 cases, 3863 checks passed, 2212 skipped
+  check: seed=42 cases=25 protocols=24 oracles=14
+  OK: 25 cases, 3888 checks passed, 2212 skipped
 
   $ manet check --list
   coverage               structural    2.5/3-hop coverage sets match a BFS reference; connector tables are real paths; the CH_HOP cache agrees with per-head recomputation
   si-sd-sanity           structural    dynamic forward set contains every clusterhead, is a CDS (Theorem 2), and stays within a constant of the static broadcast
   domains-determinism    structural    Sweep.run_point is bit-identical on 1 and 2 domains
+  timeline-vs-rebuild    structural    at every maintenance event of a churning workload the live incrementally-maintained backbone equals a from-scratch rebuild on the live graph
   domination             per-protocol  a materialized backbone dominates the graph (Theorem 1, first half)
   backbone-connectivity  per-protocol  a materialized backbone induces a connected subgraph (Theorem 1, second half)
   delivery               per-protocol  a perfect-mode broadcast delivers to every node (guaranteed protocols) and is self-consistent for the rest
@@ -136,7 +137,7 @@ A deliberately broken gateway selection (the harness's own mutant) is
 caught and shrunk to a minimal reproducer:
 
   $ manet check --seed 42 --cases 50 --proto static-2.5hop!drop-coverage --output repro.ml
-  check: seed=42 cases=50 protocols=1 oracles=13
+  check: seed=42 cases=50 protocols=1 oracles=14
   FAIL oracle=backbone-connectivity proto=static-2.5hop!drop-coverage case 1 (udg, seed 42): n=42 m=85 source=31
     static-2.5hop!drop-coverage: backbone {0, 1, 2, 3, 4, 5, 6, 7, 10, 12, 13, 15, 16, 17, 18, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 33, 36, 37, 40} induces a disconnected subgraph
     shrunk to n=3 m=2 source=2 (41 shrink checks)
@@ -166,6 +167,7 @@ shape each one is expected to show:
   ext-delivery    Diagnostic: delivery ratios of the dynamic backbone and the SD baselines (expected at or near 1.0).
   ext-pruning     Ablation: dynamic backbone under the three pruning levels, against the static backbone as the no-history reference (2.5-hop mode).
   ext-resilience  Resilience: one random backbone node dies at round 1 - post-failure delivery of the paper's static backbone vs the k-connected m-dominating family (k=2 should hold 1.0), rounds the broadcast keeps propagating past the kill, and the redundant-coverage factor of each structure.
+  ext-traffic     Continuous traffic: a Poisson broadcast stream (~12,000 arrivals) served over one long-lived network under join/leave churn, with the backbone maintained incrementally every time unit - sustained throughput, maintenance messages per churn event, backbone staleness and delivery over active nodes.
   ext-approx      Approximation ratios |CDS| / |MCDS| on small networks (the exact solver is exponential) for the static backbone (both modes), MO_CDS and greedy CDS.
 
 A builtin runs by name; --quick shrinks the grids and the sample budget

@@ -253,6 +253,48 @@ let test_maintenance_satisfies_oracles_under_motion () =
   done;
   Alcotest.(check bool) "some connected snapshots were checked" true (!checked > 0)
 
+(* The issue's acceptance bar for the serving core: the
+   timeline-vs-rebuild oracle over 1000 seeded cases with zero
+   counterexamples. *)
+let test_timeline_oracle_1000_cases () =
+  let oracle = Oracle.find_exn "timeline-vs-rebuild" in
+  for index = 0 to 999 do
+    let ctx = Oracle.context (Case.generate ~seed:42 ~index) in
+    let v = Oracle.eval oracle ctx ~proto:None in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d (%s)" index (verdict_label v))
+      true (is_pass v)
+  done
+
+(* The seeded mutant: the same stream with the first maintenance update
+   dropped must be caught — by exactly this oracle (the fault lives in
+   the serving loop, which no other oracle observes). *)
+let test_timeline_mutant_caught () =
+  let ctx = Oracle.context (Case.generate ~seed:42 ~index:1) in
+  Alcotest.(check bool)
+    "clean stream passes" true
+    (is_pass (Oracle.timeline_vs_rebuild ctx));
+  (match Oracle.timeline_vs_rebuild ~skip_maintenance:1 ctx with
+  | Oracle.Fail m ->
+    Alcotest.(check bool)
+      ("failure names the divergence: " ^ m)
+      true
+      (String.length m > 0)
+  | v -> Alcotest.failf "faulted stream not caught (%s)" (verdict_label v));
+  (* The rest of the catalog is blind to the fault: the case's own graph
+     and protocols are untouched by the workload's internal stream. *)
+  List.iter
+    (fun o ->
+      if o.Oracle.name <> "timeline-vs-rebuild" then
+        match o.Oracle.check with
+        | Oracle.Structural _ ->
+          let v = Oracle.eval o ctx ~proto:None in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s unaffected (%s)" o.Oracle.name (verdict_label v))
+            true (is_pass v)
+        | Oracle.Per_protocol _ -> ())
+    Oracle.all
+
 let () =
   Alcotest.run "check"
     [
@@ -298,5 +340,12 @@ let () =
         [
           Alcotest.test_case "repaired backbone passes the oracles under motion" `Quick
             test_maintenance_satisfies_oracles_under_motion;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "1000 seeded cases, zero counterexamples" `Slow
+            test_timeline_oracle_1000_cases;
+          Alcotest.test_case "skipped maintenance caught by timeline-vs-rebuild" `Quick
+            test_timeline_mutant_caught;
         ] );
     ]

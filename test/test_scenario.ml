@@ -179,11 +179,11 @@ let test_bad_grids () =
                    {"kind": "forwards", "protocol": "flooding"}]}|}
     "duplicate series label";
   rejects
-    {|{"version": 2, "name": "t", "seed": 1,
+    {|{"version": 3, "name": "t", "seed": 1,
        "topology": {"n": [20], "degree": [6]},
        "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
        "metrics": [{"kind": "forwards", "protocol": "flooding"}]}|}
-    "unsupported version 2";
+    "unsupported version 3";
   rejects
     {|{"version": 1, "name": "t", "seed": 1,
        "topology": {"n": [20], "degree": [6]}, "loss": 1.5,
@@ -259,6 +259,84 @@ let test_failures_rejections () =
        "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
        "metrics": [{"kind": "failure-delivery", "protocol": "kmcds-k2m2"}]}|}
     {|unknown field "blast_radius"|}
+
+(* The continuous-traffic axis (codec version 2): round-trip of every
+   workload knob, version gating of the new object, and strict
+   rejection of malformed or orphaned workloads. *)
+
+let test_workload_roundtrip () =
+  let w =
+    Manet_experiment.Workload.make ~arrival_rate:20. ~duration:50. ~warmup:5. ~join_rate:0.3
+      ~leave_rate:0.2 ~sources:4 ~maintenance_every:2. ()
+  in
+  let s =
+    Scenario.make ~name:"traffic-knobs" ~description:"every workload field" ~seed:7 ~ns:[ 20 ]
+      ~degrees:[ 6. ] ~workload:w
+      ~stopping:{ Scenario.min_samples = 2; max_samples = 4; rel_precision = 0.5 }
+      [
+        Scenario.Workload_throughput { name = None };
+        Scenario.Workload_maintenance { name = Some "maint" };
+        Scenario.Workload_staleness { name = None };
+        Scenario.Workload_delivery { name = None };
+      ]
+  in
+  (match Scenario.validate s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "validate: %s" m);
+  let text = Scenario.to_string s in
+  (* A workload-bearing scenario must declare the v2 codec... *)
+  Alcotest.(check bool) "emitted as version 2" true (contains text {|"version": 2|});
+  (match Scenario.of_string text with
+  | Ok s' -> Alcotest.(check bool) "round-trips" true (s = s')
+  | Error m -> Alcotest.fail m);
+  (* ...while workload-free scenarios keep their byte-stable v1 files. *)
+  Alcotest.(check bool) "workload-free stays version 1" true
+    (contains (Scenario.to_string (Figures.builtin_exn "fig6")) {|"version": 1|})
+
+let test_workload_rejections () =
+  rejects
+    {|{"version": 1, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "workload": {"arrival_rate": 10, "duration": 5},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "workload-throughput"}]}|}
+    {|"workload" requires version 2|};
+  rejects
+    {|{"version": 2, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "workload": {"arrival_rate": 10, "duration": 5, "bandwidth": 3},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "workload-throughput"}]}|}
+    {|unknown field "bandwidth"|};
+  rejects
+    {|{"version": 2, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "workload": {"arrival_rate": 10, "duration": 5, "join_rate": -0.5},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "workload-throughput"}]}|}
+    "join_rate must be non-negative";
+  rejects
+    {|{"version": 2, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "workload": {"arrival_rate": -3, "duration": 5},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "workload-throughput"}]}|}
+    "arrival_rate must be positive";
+  (* a workload metric without the scenario-level workload object *)
+  rejects
+    {|{"version": 2, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "workload-staleness"}]}|}
+    {|needs the scenario-level "workload" object|};
+  (* workload metrics are protocol-free: a protocol field is unknown *)
+  rejects
+    {|{"version": 2, "name": "t", "seed": 1,
+       "topology": {"n": [20], "degree": [6]},
+       "workload": {"arrival_rate": 10, "duration": 5},
+       "stopping": {"min_samples": 2, "max_samples": 4, "rel_precision": 0.5},
+       "metrics": [{"kind": "workload-throughput", "protocol": "flooding"}]}|}
+    {|unknown field "protocol"|}
 
 (* Parity: every builtin figure, compiled from its scenario and run by
    the Runner, reproduces bit-identically the table the historical
@@ -406,6 +484,19 @@ let legacy =
          Metric.redundancy "static-2.5hop";
          Metric.redundancy "kmcds-k2m2";
        ]) );
+    ( "ext-traffic",
+      (* The quickened workload (duration 25, warmup 2) spelled out by
+         hand: the builtin's stream must compile to exactly these. *)
+      (let w =
+         Manet_experiment.Workload.make ~warmup:2. ~join_rate:0.4 ~leave_rate:0.4
+           ~maintenance_every:1. ~arrival_rate:50. ~duration:25. ()
+       in
+       [
+         Manet_experiment.Workload.throughput w;
+         Manet_experiment.Workload.maintenance_per_churn w;
+         Manet_experiment.Workload.staleness w;
+         Manet_experiment.Workload.churn_delivery w;
+       ]) );
     ( "ext-approx",
       [
         { Metric.name = "mcds"; eval = mcds_of };
@@ -540,6 +631,39 @@ let test_failure_sweep_domain_invariant () =
   let parallel = Runner.run (resume_failure_scenario ~domains:3 ()) in
   List.iter2 (same_table "3 domains = 1 domain") serial parallel
 
+(* And mid-traffic-stream: the whole serving run is seeded from the
+   per-sample generator, so a killed workload sweep resumes with
+   bit-identical streams at any domain count. *)
+
+let resume_traffic_scenario ?(domains = 1) () =
+  Scenario.make ~name:"resume-traffic" ~seed:13 ~domains ~ns:[ 20; 30 ] ~degrees:[ 6. ]
+    ~workload:
+      (Manet_experiment.Workload.make ~arrival_rate:30. ~duration:8. ~warmup:1. ~join_rate:0.5
+         ~leave_rate:0.5 ())
+    ~stopping:{ Scenario.min_samples = 12; max_samples = 24; rel_precision = 0.0001 }
+    [
+      Scenario.Workload_throughput { name = None };
+      Scenario.Workload_staleness { name = None };
+      Scenario.Workload_delivery { name = None };
+    ]
+
+let test_resume_mid_traffic_stream () =
+  with_temp (fun path ->
+      let s = resume_traffic_scenario () in
+      let full = Runner.run ~journal:path s in
+      let lines = journal_lines path in
+      (* Keep the header and the first 2 chunk entries, then simulate a
+         crash mid-append: the cut lands mid-stream between points. *)
+      write_file path
+        (String.concat "\n" (List.filteri (fun i _ -> i < 3) lines) ^ "\n" ^ {|{"degree": 0|});
+      let resumed = Runner.run ~journal:path ~resume:true s in
+      List.iter2 (same_table "mid-traffic resume") full resumed;
+      (* Resume the same truncated journal on 3 domains: same tables. *)
+      write_file path
+        (String.concat "\n" (List.filteri (fun i _ -> i < 3) lines) ^ "\n");
+      let parallel = Runner.run ~journal:path ~resume:true (resume_traffic_scenario ~domains:3 ()) in
+      List.iter2 (same_table "mid-traffic resume, 3 domains") full parallel)
+
 let test_resume_missing_journal_is_fresh () =
   with_temp (fun path ->
       Sys.remove path;
@@ -568,6 +692,8 @@ let () =
           Alcotest.test_case "failure events round-trip" `Quick test_failures_roundtrip;
           Alcotest.test_case "malformed failure events rejected" `Quick
             test_failures_rejections;
+          Alcotest.test_case "workloads round-trip" `Quick test_workload_roundtrip;
+          Alcotest.test_case "malformed workloads rejected" `Quick test_workload_rejections;
         ] );
       ( "parity",
         Alcotest.test_case "coverage" `Quick test_every_builtin_has_parity_coverage
@@ -582,5 +708,6 @@ let () =
           Alcotest.test_case "resume mid-failure-sweep" `Quick test_resume_mid_failure_sweep;
           Alcotest.test_case "failure sweep is domain-invariant" `Quick
             test_failure_sweep_domain_invariant;
+          Alcotest.test_case "resume mid-traffic-stream" `Quick test_resume_mid_traffic_stream;
         ] );
     ]
